@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at laptop scale.
+They print paper-formatted rows (captured in ``bench_output.txt`` /
+EXPERIMENTS.md) and use pytest-benchmark for the timing-sensitive kernels.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiplies every epoch budget (default 0.15).  The
+  relative comparisons (who is faster, by what factor) are scale-invariant;
+  raise it for higher-fidelity AUC numbers.
+* ``REPRO_BENCH_DIM``   — embedding dimension used by the quality benches
+  (default 32; the paper uses 128).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.gpu import DeviceSpec, SimulatedDevice
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "32"))
+
+
+@pytest.fixture
+def device() -> SimulatedDevice:
+    """A fresh Titan-X-like simulated device per benchmark."""
+    return SimulatedDevice()
+
+
+def tiny_device(bytes_: int) -> SimulatedDevice:
+    """A deliberately small device used to force the partitioned engine."""
+    return SimulatedDevice(spec=DeviceSpec(name=f"{bytes_ // 1024}kB", memory_bytes=bytes_))

@@ -1,0 +1,79 @@
+"""Ablations on the training schedule: smoothing ratio p and learning-rate decay.
+
+The smoothing ratio controls how the epoch budget is split between uniform
+and geometric (coarse-heavy) distribution; the paper leaves it as the main
+user-facing performance/accuracy knob (it is what distinguishes fast, normal
+and slow).  The learning-rate schedule resets at every level and decays
+linearly within it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro.embedding import NORMAL, GoshEmbedder, distribute_epochs
+from repro.eval import evaluate_embedding, train_test_split
+from repro.harness import load_dataset, print_table
+
+from conftest import BENCH_DIM, BENCH_SCALE
+
+P_VALUES = (0.0, 0.1, 0.3, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def split():
+    graph = load_dataset("com-dblp", seed=0)
+    return train_test_split(graph, seed=0)
+
+
+def test_ablation_smoothing_ratio(split):
+    rows = []
+    aucs = {}
+    for p in P_VALUES:
+        cfg = NORMAL.scaled(max(BENCH_SCALE, 0.2), dim=BENCH_DIM).with_(smoothing_ratio=p)
+        t0 = perf_counter()
+        result = GoshEmbedder(cfg).embed(split.train_graph)
+        seconds = perf_counter() - t0
+        auc = evaluate_embedding(result.embedding, split, seed=0).auc
+        aucs[p] = auc
+        rows.append({
+            "p": p,
+            "epochs per level": result.epochs_per_level,
+            "Time (s)": round(seconds, 3),
+            "AUCROC (%)": round(100 * auc, 2),
+        })
+    print_table(rows, title="Ablation — smoothing ratio p (com-dblp twin)")
+    # Every setting must learn something useful; the knob trades speed for
+    # fine-level training, it should not destroy quality at either end.
+    assert all(a > 0.6 for a in aucs.values())
+
+
+def test_ablation_epoch_distribution_shape():
+    rows = []
+    for p in P_VALUES:
+        rows.append({"p": p, "e_i for D=5, e=1000": distribute_epochs(1000, 5, p)})
+    print_table(rows, title="Ablation — epoch distribution across 5 levels")
+    geometric = distribute_epochs(1000, 5, 0.0)
+    uniform = distribute_epochs(1000, 5, 1.0)
+    assert geometric[-1] > uniform[-1]
+    assert geometric[0] < uniform[0]
+
+
+def test_ablation_learning_rate_decay(split):
+    rows = []
+    results = {}
+    for floor, label in ((1e-4, "paper decay (floor 1e-4)"), (1.0, "no decay")):
+        cfg = NORMAL.scaled(max(BENCH_SCALE, 0.2), dim=BENCH_DIM).with_(learning_rate_decay_floor=floor)
+        result = GoshEmbedder(cfg).embed(split.train_graph)
+        auc = evaluate_embedding(result.embedding, split, seed=0).auc
+        results[label] = auc
+        rows.append({"variant": label, "AUCROC (%)": round(100 * auc, 2)})
+    print_table(rows, title="Ablation — learning-rate decay (com-dblp twin)")
+    assert all(a > 0.55 for a in results.values())
+
+
+def test_ablation_smoothing_benchmark(benchmark, split):
+    cfg = NORMAL.scaled(BENCH_SCALE, dim=BENCH_DIM).with_(smoothing_ratio=0.3)
+    benchmark.pedantic(lambda: GoshEmbedder(cfg).embed(split.train_graph), rounds=1, iterations=1)

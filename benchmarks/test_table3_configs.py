@@ -1,0 +1,40 @@
+"""Table 3 — GOSH configurations (fast / normal / slow / no-coarsening).
+
+Prints the configuration table and benchmarks one GOSH-normal run so the
+configuration plumbing has a timing baseline.
+"""
+
+from __future__ import annotations
+
+from repro.embedding import CONFIGURATIONS, FAST, NO_COARSE, NORMAL, SLOW, GoshEmbedder
+from repro.harness import load_dataset, print_table
+
+from conftest import BENCH_DIM, BENCH_SCALE
+
+
+def test_table3_configuration_values():
+    rows = []
+    for cfg in (FAST, NORMAL, SLOW, NO_COARSE):
+        rows.append({
+            "Configuration": cfg.name,
+            "p": cfg.smoothing_ratio if cfg.use_coarsening else "-",
+            "lr": cfg.learning_rate,
+            "e_normal": cfg.epochs,
+            "e_large": cfg.epochs_large,
+            "coarsening": "yes" if cfg.use_coarsening else "no",
+        })
+    print_table(rows, title="Table 3 — Gosh configurations")
+    assert len(CONFIGURATIONS) >= 4
+    assert FAST.learning_rate > NORMAL.learning_rate > SLOW.learning_rate
+    assert FAST.epochs < NORMAL.epochs < SLOW.epochs
+
+
+def test_table3_normal_config_run(benchmark):
+    graph = load_dataset("com-amazon", seed=0)
+    cfg = NORMAL.scaled(BENCH_SCALE, dim=BENCH_DIM)
+
+    def run():
+        return GoshEmbedder(cfg).embed(graph)
+
+    result = benchmark(run)
+    assert result.embedding.shape == (graph.num_vertices, BENCH_DIM)

@@ -1,0 +1,78 @@
+"""Table 6 — link prediction on the medium-scale twins.
+
+For every medium twin the bench runs the full tool suite (VERSE, MILE,
+GraphVite-like, and the four GOSH configurations), evaluates link-prediction
+AUCROC, and prints the paper's columns: Algorithm, Time, Speedup vs VERSE,
+AUCROC.  Epoch budgets are scaled by ``REPRO_BENCH_SCALE`` so the whole table
+regenerates in minutes; speedup ratios and the quality ordering are the
+quantities compared against the paper.
+
+Set REPRO_BENCH_TABLE6_GRAPHS to a comma-separated subset (default: two
+representative graphs, one sparse and one dense) to bound runtime; pass
+"all" to sweep all eight.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import ExperimentRunner, MEDIUM_DATASETS, default_tools, load_dataset, print_table
+
+from conftest import BENCH_DIM, BENCH_SCALE
+
+_selector = os.environ.get("REPRO_BENCH_TABLE6_GRAPHS", "com-dblp,com-orkut")
+if _selector.strip().lower() == "all":
+    GRAPH_NAMES = [spec.name for spec in MEDIUM_DATASETS]
+else:
+    GRAPH_NAMES = [name.strip() for name in _selector.split(",") if name.strip()]
+
+TOOLS = ["Verse", "Mile", "Graphvite", "Gosh-fast", "Gosh-normal", "Gosh-slow", "Gosh-NoCoarse"]
+
+
+@pytest.fixture(scope="module")
+def table6_results():
+    runner = ExperimentRunner(
+        tools=default_tools(dim=BENCH_DIM, epoch_scale=BENCH_SCALE, seed=0),
+        baseline_tool="Verse", seed=0,
+    )
+    for name in GRAPH_NAMES:
+        runner.run_graph(load_dataset(name, seed=0), tools=TOOLS)
+    return runner
+
+
+def test_table6_rows(table6_results):
+    rows = table6_results.rows()
+    print_table(rows, title=f"Table 6 — link prediction on medium twins (scale={BENCH_SCALE})")
+    by_graph: dict[str, dict[str, object]] = {}
+    for run in table6_results.results:
+        by_graph.setdefault(run.graph, {})[run.tool] = run
+
+    for graph_name, tools in by_graph.items():
+        verse = tools["Verse"]
+        for gosh_name in ("Gosh-fast", "Gosh-normal", "Gosh-slow"):
+            gosh = tools[gosh_name]
+            assert gosh.error is None, f"{gosh_name} failed on {graph_name}"
+            # the headline claim: every GOSH configuration is faster than VERSE
+            assert gosh.seconds < verse.seconds
+            # and the embedding is useful (far above chance)
+            assert gosh.auc is not None and gosh.auc > 0.6
+        # fast <= normal <= slow in wall-clock time
+        assert tools["Gosh-fast"].seconds <= tools["Gosh-normal"].seconds <= tools["Gosh-slow"].seconds
+        # the no-coarsening configuration is the slowest GOSH variant
+        assert tools["Gosh-NoCoarse"].seconds > tools["Gosh-fast"].seconds
+
+
+def test_table6_gosh_fast_benchmark(benchmark):
+    graph = load_dataset(GRAPH_NAMES[0], seed=0)
+    tools = default_tools(dim=BENCH_DIM, epoch_scale=BENCH_SCALE, seed=0)
+    emb = benchmark.pedantic(lambda: tools["Gosh-fast"](graph), rounds=2, iterations=1)
+    assert emb.shape[0] == graph.num_vertices
+
+
+def test_table6_verse_benchmark(benchmark):
+    graph = load_dataset(GRAPH_NAMES[0], seed=0)
+    tools = default_tools(dim=BENCH_DIM, epoch_scale=BENCH_SCALE, seed=0)
+    emb = benchmark.pedantic(lambda: tools["Verse"](graph), rounds=1, iterations=1)
+    assert emb.shape[0] == graph.num_vertices

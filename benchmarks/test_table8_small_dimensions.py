@@ -1,0 +1,76 @@
+"""Table 8 — small-dimension embedding with and without warp packing (SM).
+
+The paper's claim: without the small-dimension optimisation, d = 8, 16 and 32
+all take the same time (idle warp lanes absorb the difference); with it,
+d = 8 is ~2.6-2.7x faster and d = 16 ~1.8-1.9x faster, while d = 32 is
+unchanged.  The execution-geometry claim is verified exactly through the warp
+model's lane efficiency; the wall-clock table is regenerated from the
+simulated device's compute-cost model, which uses that efficiency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embedding import LevelTrainer, init_embedding
+from repro.gpu import SimulatedDevice, warp_lane_efficiency
+from repro.harness import load_dataset, print_table
+
+from conftest import BENCH_SCALE
+
+DIMS = (8, 16, 32)
+GRAPHS = ("com-orkut", "soc-LiveJournal")
+
+
+def _simulated_time(graph, dim: int, small_dim_mode: bool, epochs: int) -> float:
+    device = SimulatedDevice()
+    emb = init_embedding(graph.num_vertices, dim, 0)
+    trainer = LevelTrainer(negative_samples=3, learning_rate=0.05,
+                           small_dim_mode=small_dim_mode, device=device, seed=0)
+    trainer.train(graph, emb, epochs)
+    return device.simulated_compute_seconds
+
+
+@pytest.fixture(scope="module")
+def table8_rows():
+    epochs = max(2, int(100 * BENCH_SCALE))
+    rows = []
+    for name in GRAPHS:
+        graph = load_dataset(name, seed=0)
+        for small_dim in (False, True):
+            for dim in DIMS:
+                rows.append({
+                    "Graph": name,
+                    "SM": "Yes" if small_dim else "No",
+                    "d": dim,
+                    "sim time (s)": round(_simulated_time(graph, dim, small_dim, epochs), 6),
+                })
+    return rows
+
+
+def test_table8_small_dimension_shape(table8_rows):
+    print_table(table8_rows, title="Table 8 — small-dimension embedding (simulated kernel cost)")
+    by_key = {(r["Graph"], r["SM"], r["d"]): r["sim time (s)"] for r in table8_rows}
+    for name in GRAPHS:
+        # Without SM: d=8, 16, 32 take (approximately) the same time.
+        no_sm = [by_key[(name, "No", d)] for d in DIMS]
+        assert max(no_sm) / min(no_sm) < 1.15
+        # With SM: d=8 and d=16 get large speedups, d=32 is unchanged.
+        assert by_key[(name, "No", 8)] / by_key[(name, "Yes", 8)] > 2.0
+        assert by_key[(name, "No", 16)] / by_key[(name, "Yes", 16)] > 1.5
+        ratio_32 = by_key[(name, "No", 32)] / by_key[(name, "Yes", 32)]
+        assert 0.8 < ratio_32 < 1.25
+
+
+def test_table8_lane_efficiency_model():
+    # The execution-geometry claim behind Table 8, independent of any graph.
+    assert warp_lane_efficiency(8, small_dim_mode=True) / warp_lane_efficiency(8, small_dim_mode=False) == pytest.approx(4.0)
+    assert warp_lane_efficiency(16, small_dim_mode=True) / warp_lane_efficiency(16, small_dim_mode=False) == pytest.approx(2.0)
+    assert warp_lane_efficiency(32, small_dim_mode=True) == warp_lane_efficiency(32, small_dim_mode=False)
+
+
+def test_table8_d8_kernel_benchmark(benchmark):
+    graph = load_dataset("com-orkut", seed=0)
+    emb = init_embedding(graph.num_vertices, 8, 0)
+    trainer = LevelTrainer(negative_samples=3, small_dim_mode=True, seed=0)
+    benchmark.pedantic(lambda: trainer.train(graph, emb, 2), rounds=3, iterations=1)

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments without PEP 517 build tooling (offline installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a reproduction of "GOSH: Embedding Big Graphs on Small Hardware" (ICPP 2020).
+
+The package is organised around the paper's own structure:
+
+* :mod:`repro.graph` — CSR graph substrate, synthetic dataset generators,
+  samplers, IO and partitioning.
+* :mod:`repro.coarsening` — MultiEdgeCollapse (sequential and parallel), the
+  MILE coarsening baseline, and the coarsening hierarchy with embedding
+  projection.
+* :mod:`repro.gpu` — the simulated GPU: device-memory accounting, the warp /
+  small-dimension execution model, and the vectorised embedding kernels.
+* :mod:`repro.embedding` — the GOSH pipeline (Algorithm 2), level trainer
+  (Algorithm 3), epoch distribution, configurations (Table 3) and the VERSE
+  baseline.
+* :mod:`repro.large` — the out-of-memory engine (Algorithm 5): partitioning,
+  inside-out rotations, sample pools, GPUState.
+* :mod:`repro.eval` — the link-prediction pipeline, logistic-regression
+  classifiers, and AUCROC.
+* :mod:`repro.baselines` — VERSE, MILE and GraphVite-like comparators.
+* :mod:`repro.harness` — dataset registry (Table 2 twins), experiment
+  runner, and table formatting used by the benchmarks.
+
+Quickstart::
+
+    from repro import graph, embedding
+
+    g = graph.powerlaw_cluster(2000, m=3, seed=1)
+    result = embedding.embed(g, embedding.FAST.scaled(0.05, dim=32))
+    print(result.embedding.shape)
+"""
+
+from . import baselines, coarsening, embedding, eval, gpu, graph, harness, large
+from .embedding import FAST, NO_COARSE, NORMAL, SLOW, GoshConfig, GoshEmbedder, GoshResult, embed
+from .graph import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "coarsening",
+    "embedding",
+    "eval",
+    "gpu",
+    "graph",
+    "harness",
+    "large",
+    "FAST",
+    "NO_COARSE",
+    "NORMAL",
+    "SLOW",
+    "GoshConfig",
+    "GoshEmbedder",
+    "GoshResult",
+    "embed",
+    "CSRGraph",
+    "__version__",
+]

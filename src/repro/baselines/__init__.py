@@ -1,0 +1,17 @@
+"""Baseline embedding systems reimplemented for comparison: VERSE, MILE, GraphVite-like."""
+
+from ..embedding.verse import VerseConfig, VerseResult, verse_embed
+from .graphvite_like import GraphViteConfig, GraphViteResult, graphvite_embed
+from .mile import MileConfig, MileResult, mile_embed
+
+__all__ = [
+    "VerseConfig",
+    "VerseResult",
+    "verse_embed",
+    "GraphViteConfig",
+    "GraphViteResult",
+    "graphvite_embed",
+    "MileConfig",
+    "MileResult",
+    "mile_embed",
+]

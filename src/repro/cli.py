@@ -1,0 +1,170 @@
+"""Command-line interface for the GOSH reproduction.
+
+Four subcommands cover the day-to-day workflow of the original tool:
+
+* ``repro-gosh embed``    — embed an edge-list file (or a named synthetic
+  twin) and save the embedding matrix as ``.npy``.
+* ``repro-gosh coarsen``  — run MultiEdgeCollapse and print the per-level
+  statistics (a Table 4/5-style report).
+* ``repro-gosh evaluate`` — run the full link-prediction pipeline around a
+  chosen tool and print the AUCROC.
+* ``repro-gosh datasets`` — list the registered synthetic twins (Table 2).
+
+The CLI is intentionally thin: every subcommand is a short wrapper over the
+public library API so that scripts remain the primary interface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .coarsening import multi_edge_collapse, parallel_multi_edge_collapse, summarize
+from .embedding import GoshEmbedder, get_config
+from .eval import run_link_prediction
+from .graph import CSRGraph, read_edge_list
+from .gpu import DeviceSpec, SimulatedDevice
+from .harness import dataset_names, load_dataset, paper_table2_rows, print_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(source: str, *, seed: int = 0) -> CSRGraph:
+    """Load a graph from an edge-list path or the twin registry."""
+    if source in dataset_names():
+        return load_dataset(source, seed=seed)
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"{source!r} is neither a registered dataset ({', '.join(dataset_names())}) "
+            "nor an existing edge-list file"
+        )
+    return read_edge_list(path)
+
+
+def _make_device(memory_mb: float | None) -> SimulatedDevice:
+    if memory_mb is None:
+        return SimulatedDevice()
+    return SimulatedDevice(spec=DeviceSpec(name=f"{memory_mb}MB",
+                                           memory_bytes=int(memory_mb * 1024 * 1024)))
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def cmd_embed(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, seed=args.seed)
+    config = get_config(args.config).scaled(args.epoch_scale, dim=args.dim).with_(seed=args.seed)
+    device = _make_device(args.device_memory_mb)
+    result = GoshEmbedder(config, device=device).embed(graph)
+    np.save(args.output, result.embedding)
+    print(f"graph: {graph}")
+    print(f"levels: {result.hierarchy.level_sizes()}")
+    print(f"epochs per level: {result.epochs_per_level}")
+    print(f"coarsening: {result.coarsening_seconds:.3f}s, training: {result.training_seconds:.3f}s")
+    if result.large_graph_stats:
+        stats = result.large_graph_stats[0]
+        print(f"partitioned engine: K={stats.num_parts}, rotations={stats.rotations}")
+    print(f"embedding saved to {args.output} (shape {result.embedding.shape})")
+    return 0
+
+
+def cmd_coarsen(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, seed=args.seed)
+    coarsener = parallel_multi_edge_collapse if args.parallel else multi_edge_collapse
+    result = coarsener(graph, threshold=args.threshold)
+    report = summarize(result)
+    rows = [{
+        "level": i,
+        "|V_i|": result.graphs[i].num_vertices,
+        "|E_i|": result.graphs[i].num_undirected_edges,
+        "time (s)": round(result.level_times[i - 1], 4) if i > 0 else "-",
+    } for i in range(result.num_levels)]
+    print_table(rows, title=f"MultiEdgeCollapse on {graph.name} "
+                            f"({'parallel' if args.parallel else 'sequential'})")
+    print(f"levels: {report.num_levels}, last level: {report.last_level_size}, "
+          f"mean shrink rate: {report.mean_shrink_rate:.3f}, total: {report.total_time:.3f}s")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, seed=args.seed)
+    config = get_config(args.config).scaled(args.epoch_scale, dim=args.dim).with_(seed=args.seed)
+    device = _make_device(args.device_memory_mb)
+
+    def embedder(train_graph: CSRGraph) -> np.ndarray:
+        return GoshEmbedder(config, device=device).embed(train_graph).embedding
+
+    result = run_link_prediction(graph, embedder, classifier=args.classifier, seed=args.seed)
+    print(f"graph: {graph}")
+    print(f"config: {config.name} (dim={config.dim}, epochs={config.epochs})")
+    print(f"embedding time: {result.embed_seconds:.3f}s")
+    print(f"link-prediction AUCROC: {100 * result.auc:.2f}%")
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = paper_table2_rows()
+    if args.scale:
+        rows = [r for r in rows if r["scale"] == args.scale]
+    print_table(rows, title="Registered dataset twins (paper Table 2)")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gosh",
+        description="GOSH reproduction: multilevel graph embedding on small (simulated) hardware",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help="edge-list file or registered dataset name")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_embed = sub.add_parser("embed", help="embed a graph and save the matrix as .npy")
+    add_common(p_embed)
+    p_embed.add_argument("--output", "-o", default="embedding.npy")
+    p_embed.add_argument("--config", default="normal", help="fast | normal | slow | no-coarsening")
+    p_embed.add_argument("--dim", type=int, default=128)
+    p_embed.add_argument("--epoch-scale", type=float, default=1.0)
+    p_embed.add_argument("--device-memory-mb", type=float, default=None,
+                         help="simulated device memory (default: Titan X, 12 GB)")
+    p_embed.set_defaults(func=cmd_embed)
+
+    p_coarsen = sub.add_parser("coarsen", help="run MultiEdgeCollapse and report per-level stats")
+    add_common(p_coarsen)
+    p_coarsen.add_argument("--threshold", type=int, default=100)
+    p_coarsen.add_argument("--parallel", action="store_true")
+    p_coarsen.set_defaults(func=cmd_coarsen)
+
+    p_eval = sub.add_parser("evaluate", help="run the link-prediction pipeline")
+    add_common(p_eval)
+    p_eval.add_argument("--config", default="normal")
+    p_eval.add_argument("--dim", type=int, default=32)
+    p_eval.add_argument("--epoch-scale", type=float, default=0.2)
+    p_eval.add_argument("--classifier", choices=("logistic", "sgd"), default="logistic")
+    p_eval.add_argument("--device-memory-mb", type=float, default=None)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_data = sub.add_parser("datasets", help="list the registered synthetic twins")
+    p_data.add_argument("--scale", choices=("medium", "large"), default=None)
+    p_data.set_defaults(func=cmd_datasets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Coarsening hierarchy container and embedding projection.
+
+GOSH trains the smallest graph first and *expands* its embedding up the
+hierarchy: ``M_{i-1}[v] = M_i[map_{i-1}[v]]`` (every vertex inherits its super
+vertex's vector).  This module wraps the list of graphs/mappings produced by
+the coarsening algorithms and provides that projection, plus helpers used by
+Algorithm 2 (training order, per-level lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .multi_edge_collapse import CoarseningResult
+
+__all__ = ["CoarseningHierarchy", "expand_embedding", "project_vertex_sets"]
+
+
+def expand_embedding(coarse_embedding: np.ndarray, mapping: np.ndarray) -> np.ndarray:
+    """Project ``M_{i+1}`` down to level ``i``: each vertex copies its super vertex.
+
+    Parameters
+    ----------
+    coarse_embedding:
+        ``(|V_{i+1}|, d)`` matrix.
+    mapping:
+        Length ``|V_i|`` array mapping fine vertices to coarse vertices.
+    """
+    mapping = np.asarray(mapping, dtype=np.int64)
+    if mapping.size and (mapping.min() < 0 or mapping.max() >= coarse_embedding.shape[0]):
+        raise ValueError("mapping refers to vertices outside the coarse embedding")
+    # Fancy indexing copies rows, giving each fine vertex its own vector that
+    # subsequent training can move independently.
+    return coarse_embedding[mapping].copy()
+
+
+def project_vertex_sets(mapping: np.ndarray, num_clusters: int) -> list[np.ndarray]:
+    """Invert a mapping: for every coarse vertex, the fine vertices it contains."""
+    order = np.argsort(mapping, kind="stable")
+    sorted_map = mapping[order]
+    boundaries = np.searchsorted(sorted_map, np.arange(num_clusters + 1))
+    return [order[boundaries[k]: boundaries[k + 1]] for k in range(num_clusters)]
+
+
+@dataclass
+class CoarseningHierarchy:
+    """A trained-friendly view over a :class:`CoarseningResult`.
+
+    ``graphs[0]`` is the original graph; ``graphs[-1]`` is the smallest.
+    ``mappings[i]`` maps ``graphs[i]`` vertices to ``graphs[i + 1]`` vertices.
+    """
+
+    graphs: list[CSRGraph]
+    mappings: list[np.ndarray]
+
+    @classmethod
+    def from_result(cls, result: CoarseningResult) -> "CoarseningHierarchy":
+        return cls(graphs=list(result.graphs), mappings=list(result.mappings))
+
+    @classmethod
+    def trivial(cls, graph: CSRGraph) -> "CoarseningHierarchy":
+        """A hierarchy with no coarsening (the Gosh-NoCoarse configuration)."""
+        return cls(graphs=[graph], mappings=[])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_levels(self) -> int:
+        return len(self.graphs)
+
+    def level(self, i: int) -> CSRGraph:
+        return self.graphs[i]
+
+    def level_sizes(self) -> list[int]:
+        return [g.num_vertices for g in self.graphs]
+
+    def coarsest(self) -> CSRGraph:
+        return self.graphs[-1]
+
+    def training_order(self) -> Iterator[int]:
+        """Levels in training order: coarsest (D-1) down to 0."""
+        return iter(range(self.num_levels - 1, -1, -1))
+
+    # ------------------------------------------------------------------ #
+    def expand(self, level: int, embedding: np.ndarray) -> np.ndarray:
+        """Expand the embedding of ``graphs[level]`` to ``graphs[level - 1]``.
+
+        ``level`` must be at least 1.
+        """
+        if level <= 0 or level >= self.num_levels:
+            raise ValueError(f"level must be in [1, {self.num_levels - 1}], got {level}")
+        mapping = self.mappings[level - 1]
+        if embedding.shape[0] != self.graphs[level].num_vertices:
+            raise ValueError(
+                f"embedding has {embedding.shape[0]} rows but level {level} has "
+                f"{self.graphs[level].num_vertices} vertices"
+            )
+        return expand_embedding(embedding, mapping)
+
+    def project_to_original(self, level: int, embedding: np.ndarray) -> np.ndarray:
+        """Expand an embedding from ``level`` all the way down to level 0."""
+        current = embedding
+        for lvl in range(level, 0, -1):
+            current = self.expand(lvl, current)
+        return current
+
+    def composed_mapping(self, level: int) -> np.ndarray:
+        """Mapping from level-0 vertices directly to level-``level`` vertices."""
+        n0 = self.graphs[0].num_vertices
+        composed = np.arange(n0, dtype=np.int64)
+        for lvl in range(level):
+            composed = self.mappings[lvl][composed]
+        return composed
+
+    def super_vertex_sizes(self, level: int) -> np.ndarray:
+        """Number of original (level-0) vertices inside each level-``level`` vertex."""
+        composed = self.composed_mapping(level)
+        return np.bincount(composed, minlength=self.graphs[level].num_vertices)
+
+    def validate(self) -> None:
+        """Structural sanity checks used by tests and the property suite."""
+        if len(self.mappings) != len(self.graphs) - 1:
+            raise ValueError("need exactly one mapping between consecutive levels")
+        for i, mapping in enumerate(self.mappings):
+            fine, coarse = self.graphs[i], self.graphs[i + 1]
+            if mapping.shape[0] != fine.num_vertices:
+                raise ValueError(f"mapping {i} has wrong length")
+            if mapping.size and (mapping.min() < 0 or mapping.max() >= coarse.num_vertices):
+                raise ValueError(f"mapping {i} refers to non-existent coarse vertices")
+            # Every coarse vertex must represent at least one fine vertex.
+            counts = np.bincount(mapping, minlength=coarse.num_vertices)
+            if np.any(counts == 0):
+                raise ValueError(f"mapping {i} leaves empty super vertices")

@@ -1,0 +1,30 @@
+"""Embedding core: configs, epoch distribution, trainers, GOSH pipeline, VERSE baseline."""
+
+from .config import CONFIGURATIONS, FAST, NO_COARSE, NORMAL, SLOW, GoshConfig, get_config
+from .epochs import distribute_epochs, learning_rate_schedule, per_epoch_learning_rate
+from .gosh import GoshEmbedder, GoshResult, embed
+from .trainer import LevelTrainer, TrainingStats, init_embedding, train_level
+from .verse import VerseConfig, VerseResult, verse_embed
+
+__all__ = [
+    "CONFIGURATIONS",
+    "FAST",
+    "NO_COARSE",
+    "NORMAL",
+    "SLOW",
+    "GoshConfig",
+    "get_config",
+    "distribute_epochs",
+    "learning_rate_schedule",
+    "per_epoch_learning_rate",
+    "GoshEmbedder",
+    "GoshResult",
+    "embed",
+    "LevelTrainer",
+    "TrainingStats",
+    "init_embedding",
+    "train_level",
+    "VerseConfig",
+    "VerseResult",
+    "verse_embed",
+]

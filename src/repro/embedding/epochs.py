@@ -1,0 +1,92 @@
+"""Epoch distribution across coarsening levels.
+
+Section 3 ("Using multilevel coarsening arises an interesting problem ..."):
+given a total budget of ``e`` epochs and ``D`` levels, GOSH distributes a
+fraction ``p`` (the *smoothing ratio*) uniformly and the remaining
+``e * (1 - p)`` geometrically, doubling towards the coarser levels:
+
+    e_i = (p * e) / D + e'_i        with   e'_i = e'_{i+1} / 2
+
+i.e. the coarsest level (i = D-1) receives the largest geometric share and
+each finer level half of the previous one.  Training a coarse level is cheap
+(few vertices) and its embedding seeds every level below it, so weighting the
+coarse levels is both faster and surprisingly effective — the trade-off the
+smoothing ratio exposes.
+
+The learning-rate schedule within a level is also defined here:
+``lr_j = lr * max(1 - j / e_i, 1e-4)`` for epoch j of level i.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["distribute_epochs", "learning_rate_schedule", "per_epoch_learning_rate"]
+
+
+def distribute_epochs(total_epochs: int, num_levels: int, smoothing_ratio: float) -> list[int]:
+    """Split ``total_epochs`` across ``num_levels`` levels (index 0 = original graph).
+
+    Returns a list ``e[0..D-1]`` of per-level epoch counts that sums to
+    ``total_epochs`` (up to integer rounding, corrected so the sum is exact
+    and every level gets at least one epoch whenever the budget allows).
+    """
+    if num_levels <= 0:
+        raise ValueError("num_levels must be positive")
+    if total_epochs <= 0:
+        raise ValueError("total_epochs must be positive")
+    if not (0.0 <= smoothing_ratio <= 1.0):
+        raise ValueError("smoothing_ratio must be in [0, 1]")
+    if num_levels == 1:
+        return [total_epochs]
+
+    uniform_budget = smoothing_ratio * total_epochs
+    geometric_budget = total_epochs - uniform_budget
+
+    uniform_share = uniform_budget / num_levels
+    # Geometric shares: level D-1 gets weight 2^{D-1}, level 0 gets weight 1,
+    # normalised to the geometric budget (each finer level = half the coarser).
+    weights = np.power(2.0, np.arange(num_levels, dtype=np.float64))
+    weights /= weights.sum()
+    raw = uniform_share + geometric_budget * weights
+
+    # Round to integers while preserving the exact total (largest-remainder).
+    floor = np.floor(raw).astype(np.int64)
+    remainder = int(total_epochs - floor.sum())
+    if remainder > 0:
+        order = np.argsort(-(raw - floor), kind="stable")
+        floor[order[:remainder]] += 1
+    elif remainder < 0:
+        order = np.argsort(raw - floor, kind="stable")
+        for idx in order:
+            if remainder == 0:
+                break
+            if floor[idx] > 0:
+                floor[idx] -= 1
+                remainder += 1
+
+    # Guarantee at least one epoch per level when the budget allows it.
+    if total_epochs >= num_levels:
+        for i in range(num_levels):
+            if floor[i] == 0:
+                donor = int(np.argmax(floor))
+                if floor[donor] > 1:
+                    floor[donor] -= 1
+                    floor[i] += 1
+    return [int(x) for x in floor]
+
+
+def per_epoch_learning_rate(base_lr: float, epoch: int, level_epochs: int,
+                            *, floor: float = 1e-4) -> float:
+    """lr for epoch ``epoch`` (0-based) of a level trained for ``level_epochs`` epochs."""
+    if level_epochs <= 0:
+        return base_lr * floor
+    return base_lr * max(1.0 - epoch / level_epochs, floor)
+
+
+def learning_rate_schedule(base_lr: float, level_epochs: int, *, floor: float = 1e-4) -> np.ndarray:
+    """Vector of per-epoch learning rates for one level."""
+    if level_epochs <= 0:
+        return np.zeros(0, dtype=np.float64)
+    epochs = np.arange(level_epochs, dtype=np.float64)
+    return base_lr * np.maximum(1.0 - epochs / level_epochs, floor)

@@ -1,0 +1,29 @@
+"""Evaluation pipeline: splits, features, classifiers, metrics, link prediction."""
+
+from .features import EDGE_OPERATORS, build_dataset, edge_features
+from .link_prediction import LinkPredictionResult, evaluate_embedding, run_link_prediction
+from .logistic import LogisticRegression, SGDLogisticClassifier
+from .metrics import accuracy, auc_roc, average_precision, precision_recall_f1, roc_curve
+from .node_classification import NodeClassificationResult, node_classification
+from .split import LinkPredictionSplit, sample_negative_edges, train_test_split
+
+__all__ = [
+    "EDGE_OPERATORS",
+    "build_dataset",
+    "edge_features",
+    "LinkPredictionResult",
+    "evaluate_embedding",
+    "run_link_prediction",
+    "LogisticRegression",
+    "SGDLogisticClassifier",
+    "accuracy",
+    "auc_roc",
+    "average_precision",
+    "precision_recall_f1",
+    "roc_curve",
+    "NodeClassificationResult",
+    "node_classification",
+    "LinkPredictionSplit",
+    "sample_negative_edges",
+    "train_test_split",
+]

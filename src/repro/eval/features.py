@@ -1,0 +1,66 @@
+"""Edge feature construction for the link-prediction classifier.
+
+The paper builds each classifier input row as the element-wise (Hadamard)
+product of the two endpoint embedding vectors, with the label appended during
+training.  Alternative binary operators (average, L1, L2) are provided for
+completeness — they are standard in the link-prediction literature
+(node2vec) and are used by an ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["edge_features", "build_dataset", "EDGE_OPERATORS"]
+
+
+def _hadamard(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a * b
+
+
+def _average(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return 0.5 * (a + b)
+
+
+def _weighted_l1(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.abs(a - b)
+
+
+def _weighted_l2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a - b) ** 2
+
+
+EDGE_OPERATORS = {
+    "hadamard": _hadamard,
+    "average": _average,
+    "l1": _weighted_l1,
+    "l2": _weighted_l2,
+}
+
+
+def edge_features(embedding: np.ndarray, pairs: np.ndarray, *,
+                  operator: str = "hadamard") -> np.ndarray:
+    """Feature matrix for vertex pairs: ``op(M[u], M[v])`` row per pair."""
+    if operator not in EDGE_OPERATORS:
+        raise ValueError(f"unknown edge operator {operator!r}; options: {sorted(EDGE_OPERATORS)}")
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must be an (m, 2) array")
+    a = embedding[pairs[:, 0]]
+    b = embedding[pairs[:, 1]]
+    return EDGE_OPERATORS[operator](a, b).astype(np.float64)
+
+
+def build_dataset(embedding: np.ndarray, positive_pairs: np.ndarray,
+                  negative_pairs: np.ndarray, *, operator: str = "hadamard",
+                  shuffle: bool = True, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Stack positive and negative pairs into (features, labels)."""
+    pos = edge_features(embedding, positive_pairs, operator=operator)
+    neg = edge_features(embedding, negative_pairs, operator=operator)
+    features = np.vstack([pos, neg])
+    labels = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(features.shape[0])
+        features, labels = features[perm], labels[perm]
+    return features, labels

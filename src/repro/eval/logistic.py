@@ -1,0 +1,145 @@
+"""Logistic-regression classifiers (scikit-learn substitutes).
+
+The paper trains ``sklearn.linear_model.LogisticRegression`` on medium graphs
+and ``SGDClassifier(loss="log")`` on large graphs.  Neither library is
+available offline here, so both are reimplemented on NumPy:
+
+* :class:`LogisticRegression` — full-batch gradient descent with momentum
+  and L2 regularisation (adequate for the few-hundred-thousand-row feature
+  matrices the medium-scale experiments produce),
+* :class:`SGDLogisticClassifier` — mini-batch SGD with the same logistic
+  loss, matching the scalable path used for large graphs.
+
+Both expose the sklearn-ish ``fit`` / ``predict_proba`` / ``decision_function``
+surface the evaluation pipeline expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.kernels import sigmoid
+
+__all__ = ["LogisticRegression", "SGDLogisticClassifier"]
+
+
+def _add_intercept_column(features: np.ndarray) -> np.ndarray:
+    return np.hstack([features, np.ones((features.shape[0], 1), dtype=features.dtype)])
+
+
+@dataclass
+class LogisticRegression:
+    """Full-batch logistic regression with momentum gradient descent."""
+
+    learning_rate: float = 0.1
+    max_iter: int = 300
+    l2: float = 1e-4
+    momentum: float = 0.9
+    tol: float = 1e-6
+    fit_intercept: bool = True
+    weights_: np.ndarray | None = field(default=None, repr=False)
+    losses_: list[float] = field(default_factory=list, repr=False)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("features and labels must have the same number of rows")
+        if not np.all(np.isin(np.unique(y), [0.0, 1.0])):
+            raise ValueError("labels must be binary (0/1)")
+        if self.fit_intercept:
+            X = _add_intercept_column(X)
+        n, d = X.shape
+        w = np.zeros(d, dtype=np.float64)
+        velocity = np.zeros_like(w)
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            p = sigmoid(X @ w)
+            grad = X.T @ (p - y) / n + self.l2 * w
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            w = w + velocity
+            eps = 1e-12
+            loss = float(-np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+                         + 0.5 * self.l2 * np.dot(w, w))
+            self.losses_.append(loss)
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.weights_ = w
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(features, dtype=np.float64)
+        if self.fit_intercept:
+            X = _add_intercept_column(X)
+        return X @ self.weights_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        scores = sigmoid(self.decision_function(features))
+        return np.column_stack([1.0 - scores, scores])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) >= 0.0).astype(np.int64)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy (sklearn-compatible convenience)."""
+        return float(np.mean(self.predict(features) == np.asarray(labels)))
+
+
+@dataclass
+class SGDLogisticClassifier:
+    """Mini-batch SGD logistic regression (the large-graph classifier)."""
+
+    learning_rate: float = 0.05
+    epochs: int = 20
+    batch_size: int = 4096
+    l2: float = 1e-5
+    shuffle: bool = True
+    seed: int = 0
+    fit_intercept: bool = True
+    weights_: np.ndarray | None = field(default=None, repr=False)
+
+    def partial_fit(self, features: np.ndarray, labels: np.ndarray) -> "SGDLogisticClassifier":
+        """One pass over the given batch (streaming interface)."""
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if self.fit_intercept:
+            X = _add_intercept_column(X)
+        if self.weights_ is None:
+            self.weights_ = np.zeros(X.shape[1], dtype=np.float64)
+        p = sigmoid(X @ self.weights_)
+        grad = X.T @ (p - y) / max(X.shape[0], 1) + self.l2 * self.weights_
+        self.weights_ = self.weights_ - self.learning_rate * grad
+        return self
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "SGDLogisticClassifier":
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        self.weights_ = None
+        for _ in range(self.epochs):
+            order = rng.permutation(n) if self.shuffle else np.arange(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start: start + self.batch_size]
+                self.partial_fit(X[idx], y[idx])
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(features, dtype=np.float64)
+        if self.fit_intercept:
+            X = _add_intercept_column(X)
+        return X @ self.weights_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        scores = sigmoid(self.decision_function(features))
+        return np.column_stack([1.0 - scores, scores])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) >= 0.0).astype(np.int64)

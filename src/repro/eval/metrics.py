@@ -1,0 +1,96 @@
+"""Evaluation metrics: AUCROC (the paper's headline metric) and friends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auc_roc", "roc_curve", "accuracy", "precision_recall_f1", "average_precision"]
+
+
+def auc_roc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann–Whitney U statistic.
+
+    Equivalent to the probability that a random positive scores higher than a
+    random negative; ties contribute half.  O(n log n) and exact.
+    """
+    labels = np.asarray(labels).astype(np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    pos = labels == 1.0
+    neg = labels == 0.0
+    n_pos = int(pos.sum())
+    n_neg = int(neg.sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUCROC needs at least one positive and one negative sample")
+    # Rank the scores (average ranks on ties).
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    n = scores.shape[0]
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i: j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[pos].sum())
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def roc_curve(labels: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points (fpr, tpr, thresholds) sorted by decreasing threshold."""
+    labels = np.asarray(labels).astype(np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores, kind="mergesort")
+    labels = labels[order]
+    scores = scores[order]
+    distinct = np.concatenate([np.flatnonzero(np.diff(scores)), [labels.shape[0] - 1]])
+    tps = np.cumsum(labels)[distinct]
+    fps = (distinct + 1) - tps
+    n_pos = labels.sum()
+    n_neg = labels.shape[0] - n_pos
+    tpr = tps / max(n_pos, 1)
+    fpr = fps / max(n_neg, 1)
+    tpr = np.concatenate([[0.0], tpr])
+    fpr = np.concatenate([[0.0], fpr])
+    thresholds = np.concatenate([[np.inf], scores[distinct]])
+    return fpr, tpr, thresholds
+
+
+def accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    if labels.size == 0:
+        raise ValueError("cannot compute accuracy of an empty set")
+    return float(np.mean(labels == predictions))
+
+
+def precision_recall_f1(labels: np.ndarray, predictions: np.ndarray) -> tuple[float, float, float]:
+    labels = np.asarray(labels).astype(bool)
+    predictions = np.asarray(predictions).astype(bool)
+    tp = float(np.sum(labels & predictions))
+    fp = float(np.sum(~labels & predictions))
+    fn = float(np.sum(labels & ~predictions))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return precision, recall, f1
+
+
+def average_precision(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-wise interpolation)."""
+    labels = np.asarray(labels).astype(np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores, kind="mergesort")
+    labels = labels[order]
+    tp_cum = np.cumsum(labels)
+    precision = tp_cum / np.arange(1, labels.shape[0] + 1)
+    n_pos = labels.sum()
+    if n_pos == 0:
+        raise ValueError("average precision needs at least one positive")
+    return float(np.sum(precision * labels) / n_pos)

@@ -1,0 +1,76 @@
+"""Node classification on embeddings — the paper's stated future-work task.
+
+The conclusion of the paper lists node classification as the next ML task to
+support.  We include a one-vs-rest logistic-regression evaluator so the
+library covers it: given per-vertex labels (e.g. the planted blocks of an SBM
+graph), it trains one binary classifier per class on a fraction of the
+vertices and reports micro/macro F1 on the rest — the standard protocol of
+DeepWalk/node2vec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .logistic import LogisticRegression
+from .metrics import precision_recall_f1
+
+__all__ = ["NodeClassificationResult", "node_classification"]
+
+
+@dataclass
+class NodeClassificationResult:
+    micro_f1: float
+    macro_f1: float
+    accuracy: float
+    num_classes: int
+    train_fraction: float
+
+
+def node_classification(embedding: np.ndarray, labels: np.ndarray, *,
+                        train_fraction: float = 0.5, seed: int = 0) -> NodeClassificationResult:
+    """One-vs-rest logistic regression over vertex embeddings."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != embedding.shape[0]:
+        raise ValueError("labels must have one entry per vertex")
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = labels.shape[0]
+    perm = rng.permutation(n)
+    n_train = max(1, int(round(train_fraction * n)))
+    train_idx, test_idx = perm[:n_train], perm[n_train:]
+    if test_idx.size == 0:
+        raise ValueError("train_fraction leaves no test vertices")
+
+    classes = np.unique(labels)
+    scores = np.zeros((test_idx.shape[0], classes.shape[0]), dtype=np.float64)
+    for ci, cls in enumerate(classes):
+        binary = (labels == cls).astype(np.float64)
+        model = LogisticRegression(max_iter=200)
+        model.fit(embedding[train_idx], binary[train_idx])
+        scores[:, ci] = model.decision_function(embedding[test_idx])
+    predictions = classes[np.argmax(scores, axis=1)]
+    truth = labels[test_idx]
+
+    acc = float(np.mean(predictions == truth))
+    f1s = []
+    tp_total = fp_total = fn_total = 0.0
+    for cls in classes:
+        p, r, f1 = precision_recall_f1(truth == cls, predictions == cls)
+        f1s.append(f1)
+        tp_total += float(np.sum((truth == cls) & (predictions == cls)))
+        fp_total += float(np.sum((truth != cls) & (predictions == cls)))
+        fn_total += float(np.sum((truth == cls) & (predictions != cls)))
+    micro_p = tp_total / (tp_total + fp_total) if tp_total + fp_total > 0 else 0.0
+    micro_r = tp_total / (tp_total + fn_total) if tp_total + fn_total > 0 else 0.0
+    micro_f1 = (2 * micro_p * micro_r / (micro_p + micro_r)) if micro_p + micro_r > 0 else 0.0
+    return NodeClassificationResult(
+        micro_f1=float(micro_f1),
+        macro_f1=float(np.mean(f1s)),
+        accuracy=acc,
+        num_classes=int(classes.shape[0]),
+        train_fraction=train_fraction,
+    )

@@ -1,0 +1,122 @@
+"""Train/test edge splitting for link prediction (Section 4.1).
+
+The paper's protocol:
+
+1. split the edges of ``G`` 80/20 into ``G_train`` and a test edge set,
+2. remove isolated vertices from ``G_train``,
+3. drop every test edge with an endpoint that is no longer in ``G_train``
+   (guaranteeing ``V_test ⊆ V_train``),
+4. embed ``G_train`` and evaluate a classifier on the test edges plus an
+   equal number of sampled non-edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["LinkPredictionSplit", "train_test_split", "sample_negative_edges"]
+
+
+@dataclass
+class LinkPredictionSplit:
+    """The result of the 80/20 protocol.
+
+    ``train_graph`` uses the *original* vertex ids (vertices that became
+    isolated keep their id but have no edges), so embeddings indexed by
+    original id can be used directly for both train and test pairs.
+    """
+
+    train_graph: CSRGraph
+    train_edges: np.ndarray      # (m_train, 2), u < v
+    test_edges: np.ndarray       # (m_test, 2), u < v, both endpoints non-isolated in train
+    train_fraction: float
+
+    @property
+    def num_train_edges(self) -> int:
+        return int(self.train_edges.shape[0])
+
+    @property
+    def num_test_edges(self) -> int:
+        return int(self.test_edges.shape[0])
+
+
+def train_test_split(graph: CSRGraph, *, train_fraction: float = 0.8,
+                     seed: int = 0) -> LinkPredictionSplit:
+    """Split ``graph`` into train graph + held-out test edges (paper protocol)."""
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    edges = graph.undirected_edge_array()
+    m = edges.shape[0]
+    if m == 0:
+        raise ValueError("cannot split a graph with no edges")
+    perm = rng.permutation(m)
+    num_train = max(1, int(round(train_fraction * m)))
+    train_edges = edges[perm[:num_train]]
+    test_edges = edges[perm[num_train:]]
+
+    train_graph = CSRGraph.from_edges(graph.num_vertices, train_edges, undirected=True,
+                                      name=f"{graph.name}_train")
+    # Step 3: keep only test edges whose endpoints still have degree > 0.
+    deg = train_graph.degrees
+    if test_edges.shape[0]:
+        keep = (deg[test_edges[:, 0]] > 0) & (deg[test_edges[:, 1]] > 0)
+        test_edges = test_edges[keep]
+    return LinkPredictionSplit(
+        train_graph=train_graph,
+        train_edges=train_edges,
+        test_edges=test_edges,
+        train_fraction=train_fraction,
+    )
+
+
+def sample_negative_edges(graph: CSRGraph, count: int, *, seed: int = 0,
+                          exclude: CSRGraph | None = None,
+                          restrict_to_active: bool = True,
+                          max_attempts_factor: int = 20) -> np.ndarray:
+    """Sample ``count`` vertex pairs that are not edges of ``graph`` (nor of ``exclude``).
+
+    Rejection sampling against the CSR membership test; ``restrict_to_active``
+    draws endpoints only from vertices with degree > 0 (the paper samples
+    negatives from ``V_train × V_train``).
+    """
+    rng = np.random.default_rng(seed)
+    if restrict_to_active:
+        candidates = np.flatnonzero(graph.degrees > 0)
+    else:
+        candidates = np.arange(graph.num_vertices, dtype=np.int64)
+    if candidates.shape[0] < 2:
+        raise ValueError("not enough active vertices to sample negative edges")
+    collected: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * max(count, 1)
+    while len(collected) < count and attempts < max_attempts:
+        batch = min(4 * (count - len(collected)) + 16, 1 << 16)
+        us = candidates[rng.integers(0, candidates.shape[0], size=batch)]
+        vs = candidates[rng.integers(0, candidates.shape[0], size=batch)]
+        for u, v in zip(us, vs):
+            attempts += 1
+            if u == v:
+                continue
+            a, b = (int(u), int(v)) if u < v else (int(v), int(u))
+            if (a, b) in seen:
+                continue
+            if graph.has_edge(a, b):
+                continue
+            if exclude is not None and exclude.has_edge(a, b):
+                continue
+            seen.add((a, b))
+            collected.append((a, b))
+            if len(collected) >= count:
+                break
+    if len(collected) < count:
+        raise RuntimeError(
+            f"could only sample {len(collected)} of {count} negative edges; "
+            "graph may be too dense"
+        )
+    return np.asarray(collected, dtype=np.int64)

@@ -1,0 +1,41 @@
+"""Simulated GPU substrate: device memory model, warp model, kernels, streams."""
+
+from .device import (
+    TITAN_X,
+    DeviceBuffer,
+    DeviceMemoryError,
+    DeviceSpec,
+    SimulatedDevice,
+    embedding_fits_on_device,
+)
+from .kernels import (
+    SigmoidTable,
+    sigmoid,
+    train_epoch_naive,
+    train_epoch_optimized,
+    train_pair_kernel,
+    update_embedding_pair,
+)
+from .streams import StreamEvent, StreamTimeline
+from .warp import WarpConfig, WarpSchedule, vertices_per_warp, warp_lane_efficiency
+
+__all__ = [
+    "TITAN_X",
+    "DeviceBuffer",
+    "DeviceMemoryError",
+    "DeviceSpec",
+    "SimulatedDevice",
+    "embedding_fits_on_device",
+    "SigmoidTable",
+    "sigmoid",
+    "train_epoch_naive",
+    "train_epoch_optimized",
+    "train_pair_kernel",
+    "update_embedding_pair",
+    "StreamEvent",
+    "StreamTimeline",
+    "WarpConfig",
+    "WarpSchedule",
+    "vertices_per_warp",
+    "warp_lane_efficiency",
+]

@@ -1,0 +1,194 @@
+"""Simulated GPU device.
+
+The paper's central constraint is *device memory*: a Titan X with 12 GB
+cannot hold a 128-dimensional embedding of a 100M+ vertex graph, which is
+what forces the partitioned large-graph engine of Section 3.3.  This module
+models that constraint explicitly:
+
+* a :class:`DeviceSpec` describes the simulated hardware (memory capacity,
+  number of streaming multiprocessors, warp size, PCIe bandwidth),
+* a :class:`SimulatedDevice` tracks every allocation and transfer against
+  that capacity, raising :class:`DeviceMemoryError` on oversubscription and
+  accumulating a transfer/compute cost model that the benchmarks report.
+
+The "kernels" themselves (see :mod:`repro.gpu.kernels`) run as vectorised
+NumPy on the host, but always through buffers allocated on a
+:class:`SimulatedDevice`, so the memory-budget logic of GOSH is exercised for
+real: if the scheduler tries to keep too many sub-matrices resident, the
+allocation fails exactly as it would on the card.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DeviceSpec", "DeviceMemoryError", "DeviceBuffer", "SimulatedDevice", "TITAN_X"]
+
+
+class DeviceMemoryError(RuntimeError):
+    """Raised when an allocation would exceed the simulated device memory."""
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    ``pcie_gbps`` and ``compute_throughput`` feed the cost model used for the
+    simulated timing breakdowns; they do not affect correctness.
+    """
+
+    name: str
+    memory_bytes: int
+    num_sms: int = 28
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    pcie_gbps: float = 12.0           # effective host<->device GB/s
+    compute_throughput: float = 10e9  # simulated embedding-updates entries/sec
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.memory_bytes
+
+
+#: The paper's evaluation GPU (Titan X Pascal, 12 GB).
+TITAN_X = DeviceSpec(name="TITAN X (Pascal)", memory_bytes=12 * 1024**3, num_sms=28)
+
+
+@dataclass
+class DeviceBuffer:
+    """A named allocation living on a simulated device.
+
+    The ``array`` is host memory standing in for device memory; the point is
+    the accounting, not the physical location.
+    """
+
+    name: str
+    array: np.ndarray
+    device: "SimulatedDevice"
+    freed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def free(self) -> None:
+        if not self.freed:
+            self.device._release(self)
+            self.freed = True
+
+    def __enter__(self) -> "DeviceBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.free()
+
+
+@dataclass
+class SimulatedDevice:
+    """Tracks allocations, transfers and simulated kernel time for one GPU."""
+
+    spec: DeviceSpec = field(default_factory=lambda: TITAN_X)
+    allocated_bytes: int = 0
+    peak_allocated_bytes: int = 0
+    bytes_transferred_h2d: int = 0
+    bytes_transferred_d2h: int = 0
+    num_kernel_launches: int = 0
+    simulated_transfer_seconds: float = 0.0
+    simulated_compute_seconds: float = 0.0
+    _live_buffers: dict[int, DeviceBuffer] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Memory management
+    # ------------------------------------------------------------------ #
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.memory_bytes - self.allocated_bytes
+
+    def can_allocate(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def allocate(self, shape: tuple[int, ...], dtype: np.dtype | type = np.float32,
+                 *, name: str = "buffer") -> DeviceBuffer:
+        """Allocate a zero-initialised device buffer or raise ``DeviceMemoryError``."""
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if not self.can_allocate(nbytes):
+            raise DeviceMemoryError(
+                f"cannot allocate {nbytes} bytes for {name!r}: "
+                f"{self.free_bytes} of {self.spec.memory_bytes} bytes free"
+            )
+        arr = np.zeros(shape, dtype=dtype)
+        buf = DeviceBuffer(name=name, array=arr, device=self)
+        self.allocated_bytes += nbytes
+        self.peak_allocated_bytes = max(self.peak_allocated_bytes, self.allocated_bytes)
+        self._live_buffers[id(buf)] = buf
+        return buf
+
+    def upload(self, host_array: np.ndarray, *, name: str = "upload") -> DeviceBuffer:
+        """Copy a host array to the device (counts as an H2D transfer)."""
+        buf = self.allocate(host_array.shape, host_array.dtype, name=name)
+        buf.array[...] = host_array
+        self._record_transfer(host_array.nbytes, direction="h2d")
+        return buf
+
+    def download(self, buf: DeviceBuffer) -> np.ndarray:
+        """Copy a device buffer back to the host (counts as a D2H transfer)."""
+        self._record_transfer(buf.nbytes, direction="d2h")
+        return buf.array.copy()
+
+    def _release(self, buf: DeviceBuffer) -> None:
+        if id(buf) in self._live_buffers:
+            del self._live_buffers[id(buf)]
+            self.allocated_bytes -= buf.nbytes
+
+    def reset(self) -> None:
+        """Free everything and zero the counters (between benchmark runs)."""
+        for buf in list(self._live_buffers.values()):
+            buf.free()
+        self.allocated_bytes = 0
+        self.peak_allocated_bytes = 0
+        self.bytes_transferred_h2d = 0
+        self.bytes_transferred_d2h = 0
+        self.num_kernel_launches = 0
+        self.simulated_transfer_seconds = 0.0
+        self.simulated_compute_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def _record_transfer(self, nbytes: int, *, direction: str) -> None:
+        if direction == "h2d":
+            self.bytes_transferred_h2d += int(nbytes)
+        else:
+            self.bytes_transferred_d2h += int(nbytes)
+        self.simulated_transfer_seconds += nbytes / (self.spec.pcie_gbps * 1e9)
+
+    def record_kernel(self, work_items: int, *, efficiency: float = 1.0) -> None:
+        """Account one kernel launch touching ``work_items`` embedding entries.
+
+        ``efficiency`` models utilisation effects (e.g. idle warp lanes when
+        d < warp size without the small-dimension packing of Section 3.1.1).
+        """
+        self.num_kernel_launches += 1
+        effective = max(efficiency, 1e-6)
+        self.simulated_compute_seconds += work_items / (self.spec.compute_throughput * effective)
+
+    def memory_report(self) -> dict[str, int | float]:
+        return {
+            "capacity_bytes": self.spec.memory_bytes,
+            "allocated_bytes": self.allocated_bytes,
+            "peak_allocated_bytes": self.peak_allocated_bytes,
+            "h2d_bytes": self.bytes_transferred_h2d,
+            "d2h_bytes": self.bytes_transferred_d2h,
+            "kernel_launches": self.num_kernel_launches,
+            "sim_transfer_s": self.simulated_transfer_seconds,
+            "sim_compute_s": self.simulated_compute_seconds,
+        }
+
+
+def embedding_fits_on_device(num_vertices: int, dim: int, graph_bytes: int,
+                             device: SimulatedDevice, *, itemsize: int = 4,
+                             safety_fraction: float = 0.9) -> bool:
+    """The check on Line 5 of Algorithm 2: do G_i and M_i fit on the GPU?"""
+    matrix_bytes = num_vertices * dim * itemsize
+    return (matrix_bytes + graph_bytes) <= device.spec.memory_bytes * safety_fraction

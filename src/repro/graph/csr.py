@@ -1,0 +1,308 @@
+"""Compressed Sparse Row (CSR) graph data structure.
+
+This module implements the graph substrate used throughout the GOSH
+reproduction.  The paper (Section 3.2.1) stores all graphs in CSR form:
+
+* ``xadj`` — an array of length ``|V| + 1``; the neighbours of vertex ``i``
+  live in ``adj[xadj[i]:xadj[i + 1]]``.
+* ``adj``  — the concatenated adjacency lists.
+
+All heavy operations (degree computation, symmetrisation, subgraph
+extraction, relabelling) are vectorised NumPy so that graphs with millions of
+edges remain practical in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["CSRGraph", "coo_to_csr", "validate_csr"]
+
+
+def coo_to_csr(
+    n_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    sort_neighbors: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert a COO edge list into CSR ``(xadj, adj)`` arrays.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of vertices; all entries of ``src``/``dst`` must lie in
+        ``[0, n_vertices)``.
+    src, dst:
+        Endpoint arrays of equal length.
+    sort_neighbors:
+        When True the adjacency list of every vertex is sorted, which gives
+        deterministic iteration order and enables binary-search membership
+        tests.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError(f"src and dst must have equal length, got {src.shape} vs {dst.shape}")
+    if src.size:
+        lo = min(src.min(), dst.min())
+        hi = max(src.max(), dst.max())
+        if lo < 0 or hi >= n_vertices:
+            raise ValueError(
+                f"edge endpoints must lie in [0, {n_vertices}), got range [{lo}, {hi}]"
+            )
+    counts = np.bincount(src, minlength=n_vertices)
+    xadj = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=xadj[1:])
+    order = np.argsort(src, kind="stable")
+    adj = dst[order]
+    if sort_neighbors and adj.size:
+        # Sort within each row: stable sort by dst after grouping by src.
+        row_of = src[order]
+        composite = np.lexsort((adj, row_of))
+        adj = adj[composite]
+    return xadj, adj
+
+
+def validate_csr(xadj: np.ndarray, adj: np.ndarray, n_vertices: int) -> None:
+    """Raise ``ValueError`` if ``(xadj, adj)`` is not a well-formed CSR pair."""
+    if xadj.ndim != 1 or adj.ndim != 1:
+        raise ValueError("xadj and adj must be one-dimensional")
+    if xadj.shape[0] != n_vertices + 1:
+        raise ValueError(f"xadj must have length |V|+1 = {n_vertices + 1}, got {xadj.shape[0]}")
+    if xadj[0] != 0:
+        raise ValueError("xadj[0] must be 0")
+    if xadj[-1] != adj.shape[0]:
+        raise ValueError(f"xadj[-1] ({xadj[-1]}) must equal len(adj) ({adj.shape[0]})")
+    if np.any(np.diff(xadj) < 0):
+        raise ValueError("xadj must be non-decreasing")
+    if adj.size and (adj.min() < 0 or adj.max() >= n_vertices):
+        raise ValueError("adj entries must lie in [0, |V|)")
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Undirected graphs are stored symmetrically (both ``(u, v)`` and
+    ``(v, u)`` present); :meth:`from_edges` with ``undirected=True`` takes
+    care of that.  ``num_edges`` therefore counts *directed* arcs; for an
+    undirected graph it is twice the number of undirected edges.
+    """
+
+    xadj: np.ndarray
+    adj: np.ndarray
+    num_vertices: int
+    undirected: bool = True
+    name: str = "graph"
+    # Cached degree array (out-degrees); built lazily.
+    _degrees: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        n_vertices: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        *,
+        undirected: bool = True,
+        dedup: bool = True,
+        drop_self_loops: bool = True,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a graph from an edge list.
+
+        Parameters
+        ----------
+        edges:
+            Either an ``(m, 2)`` integer array or an iterable of pairs.
+        undirected:
+            Symmetrise the edge list (store both directions of every edge).
+        dedup:
+            Remove duplicate arcs.
+        drop_self_loops:
+            Remove ``(v, v)`` arcs, which carry no information for embedding.
+        """
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(f"edges must be an (m, 2) array, got shape {arr.shape}")
+        src, dst = arr[:, 0], arr[:, 1]
+        if drop_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        if undirected and src.size:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if dedup and src.size:
+            key = src * np.int64(n_vertices) + dst
+            _, unique_idx = np.unique(key, return_index=True)
+            src, dst = src[unique_idx], dst[unique_idx]
+        xadj, adj = coo_to_csr(n_vertices, src, dst)
+        return cls(xadj=xadj, adj=adj, num_vertices=n_vertices, undirected=undirected, name=name)
+
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        xadj: np.ndarray,
+        adj: np.ndarray,
+        *,
+        undirected: bool = True,
+        name: str = "graph",
+        validate: bool = True,
+    ) -> "CSRGraph":
+        """Wrap existing CSR arrays (no copy)."""
+        xadj = np.asarray(xadj, dtype=np.int64)
+        adj = np.asarray(adj, dtype=np.int64)
+        n = xadj.shape[0] - 1
+        if validate:
+            validate_csr(xadj, adj, n)
+        return cls(xadj=xadj, adj=adj, num_vertices=n, undirected=undirected, name=name)
+
+    @classmethod
+    def empty(cls, n_vertices: int, *, name: str = "empty") -> "CSRGraph":
+        """A graph with ``n_vertices`` vertices and no edges."""
+        return cls(
+            xadj=np.zeros(n_vertices + 1, dtype=np.int64),
+            adj=np.zeros(0, dtype=np.int64),
+            num_vertices=n_vertices,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of directed arcs stored (2x undirected edge count)."""
+        return int(self.adj.shape[0])
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Number of undirected edges if the graph is symmetric."""
+        return self.num_edges // 2 if self.undirected else self.num_edges
+
+    @property
+    def density(self) -> float:
+        """Average out-degree |E| / |V| — the paper's density column (Table 2)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_undirected_edges / self.num_vertices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (== total degree for undirected graphs)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.xadj)
+        return self._degrees
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of the adjacency list of ``v`` (paper's Γ(v))."""
+        return self.adj[self.xadj[v]: self.xadj[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search (neighbour lists are sorted)."""
+        row = self.neighbors(u)
+        idx = np.searchsorted(row, v)
+        return bool(idx < row.shape[0] and row[idx] == v)
+
+    def edge_array(self) -> np.ndarray:
+        """Return all arcs as an ``(m, 2)`` array of (src, dst)."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees)
+        return np.column_stack([src, self.adj])
+
+    def undirected_edge_array(self) -> np.ndarray:
+        """Return each undirected edge once as ``(u, v)`` with ``u < v``."""
+        arcs = self.edge_array()
+        mask = arcs[:, 0] < arcs[:, 1]
+        return arcs[mask]
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def symmetrized(self) -> "CSRGraph":
+        """Return the undirected version of this graph."""
+        if self.undirected:
+            return self
+        arcs = self.edge_array()
+        return CSRGraph.from_edges(self.num_vertices, arcs, undirected=True, name=self.name)
+
+    def subgraph(self, vertices: Sequence[int] | np.ndarray) -> tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph over ``vertices``.
+
+        Returns the subgraph (with vertices relabelled ``0..k-1`` in the order
+        given) and the original vertex ids of the new labels.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        lookup = np.full(self.num_vertices, -1, dtype=np.int64)
+        lookup[vertices] = np.arange(vertices.shape[0], dtype=np.int64)
+        arcs = self.edge_array()
+        new_src = lookup[arcs[:, 0]]
+        new_dst = lookup[arcs[:, 1]]
+        keep = (new_src >= 0) & (new_dst >= 0)
+        sub = CSRGraph.from_edges(
+            vertices.shape[0],
+            np.column_stack([new_src[keep], new_dst[keep]]),
+            undirected=self.undirected,
+            dedup=True,
+            name=f"{self.name}_sub",
+        )
+        return sub, vertices
+
+    def remove_isolated_vertices(self) -> tuple["CSRGraph", np.ndarray]:
+        """Drop degree-0 vertices (used by the link-prediction split).
+
+        Returns the compacted graph and the array mapping new ids to old ids.
+        """
+        keep = np.flatnonzero(self.degrees > 0)
+        return self.subgraph(keep)
+
+    def relabel(self, permutation: np.ndarray) -> "CSRGraph":
+        """Apply a vertex permutation: new id ``permutation[v]`` for old ``v``."""
+        permutation = np.asarray(permutation, dtype=np.int64)
+        if permutation.shape[0] != self.num_vertices:
+            raise ValueError("permutation must have one entry per vertex")
+        arcs = self.edge_array()
+        new_edges = np.column_stack([permutation[arcs[:, 0]], permutation[arcs[:, 1]]])
+        return CSRGraph.from_edges(
+            self.num_vertices, new_edges, undirected=self.undirected, name=self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # Memory model hooks (used by the simulated GPU)
+    # ------------------------------------------------------------------ #
+    def nbytes(self) -> int:
+        """Bytes needed to store the CSR arrays — the paper's (|V|+1)+|E| entries."""
+        return int(self.xadj.nbytes + self.adj.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Dunder / misc
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_undirected_edges}, density={self.density:.2f})"
+        )
+
+    def copy(self) -> "CSRGraph":
+        return CSRGraph(
+            xadj=self.xadj.copy(),
+            adj=self.adj.copy(),
+            num_vertices=self.num_vertices,
+            undirected=self.undirected,
+            name=self.name,
+        )

@@ -1,0 +1,132 @@
+"""Graph input/output.
+
+Supports the formats the original GOSH tooling consumes:
+
+* plain whitespace-separated edge lists (optionally with a header line),
+* a compact binary ``.npz`` CSR container (fast round-trip for benchmarks),
+* METIS-like adjacency format (one line per vertex).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "read_metis",
+    "write_metis",
+]
+
+
+def read_edge_list(path: str | os.PathLike | io.TextIOBase, *, undirected: bool = True,
+                   comments: str = "#%", num_vertices: int | None = None,
+                   name: str | None = None) -> CSRGraph:
+    """Read a whitespace-separated edge list.
+
+    Lines starting with any character in ``comments`` are skipped.  Vertex ids
+    may be arbitrary non-negative integers; the graph size is
+    ``max(id) + 1`` unless ``num_vertices`` is given.
+    """
+    close = False
+    if isinstance(path, (str, os.PathLike)):
+        fh = open(path, "r", encoding="utf-8")
+        close = True
+        if name is None:
+            name = Path(path).stem
+    else:
+        fh = path
+        if name is None:
+            name = "edge_list"
+    try:
+        src: list[int] = []
+        dst: list[int] = []
+        for line in fh:
+            line = line.strip()
+            if not line or line[0] in comments:
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                continue
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+    finally:
+        if close:
+            fh.close()
+    edges = np.column_stack([src, dst]).astype(np.int64) if src else np.zeros((0, 2), dtype=np.int64)
+    n = num_vertices if num_vertices is not None else (int(edges.max()) + 1 if edges.size else 0)
+    return CSRGraph.from_edges(n, edges, undirected=undirected, name=name)
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike | io.TextIOBase, *,
+                    header: bool = True) -> None:
+    """Write a graph as an undirected edge list (each edge once, ``u < v``)."""
+    close = False
+    if isinstance(path, (str, os.PathLike)):
+        fh = open(path, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        if header:
+            fh.write(f"# {graph.name}: |V|={graph.num_vertices} |E|={graph.num_undirected_edges}\n")
+        edges = graph.undirected_edge_array() if graph.undirected else graph.edge_array()
+        for u, v in edges:
+            fh.write(f"{u} {v}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save the CSR arrays in a compressed ``.npz`` container."""
+    np.savez_compressed(
+        path,
+        xadj=graph.xadj,
+        adj=graph.adj,
+        num_vertices=np.int64(graph.num_vertices),
+        undirected=np.bool_(graph.undirected),
+        name=np.bytes_(graph.name.encode("utf-8")),
+    )
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph saved with :func:`save_npz`."""
+    data = np.load(path, allow_pickle=False)
+    return CSRGraph(
+        xadj=data["xadj"],
+        adj=data["adj"],
+        num_vertices=int(data["num_vertices"]),
+        undirected=bool(data["undirected"]),
+        name=bytes(data["name"]).decode("utf-8"),
+    )
+
+
+def read_metis(path: str | os.PathLike, *, name: str | None = None) -> CSRGraph:
+    """Read a METIS adjacency file (1-indexed, one vertex per line)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline().split()
+        n = int(header[0])
+        edges: list[tuple[int, int]] = []
+        for v, line in enumerate(fh):
+            for token in line.split():
+                edges.append((v, int(token) - 1))
+    arr = np.asarray(edges, dtype=np.int64) if edges else np.zeros((0, 2), dtype=np.int64)
+    return CSRGraph.from_edges(n, arr, undirected=True,
+                               name=name or Path(path).stem)
+
+
+def write_metis(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a METIS adjacency file (1-indexed)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_undirected_edges}\n")
+        for v in range(graph.num_vertices):
+            fh.write(" ".join(str(int(u) + 1) for u in graph.neighbors(v)) + "\n")

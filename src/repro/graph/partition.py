@@ -1,0 +1,113 @@
+"""Vertex-set partitioning for the large-graph engine.
+
+Section 3.3 of the paper partitions the vertex set V_i into K_i disjoint
+subsets, which induces a partition P_i of the embedding matrix into
+sub-matrices that are rotated through the (simulated) GPU.  The number of
+parts K_i is derived from the device-memory budget: each resident sub-matrix
+occupies ``ceil(|V_i| / K_i) * d * itemsize`` bytes and ``P_GPU`` of them must
+fit simultaneously alongside the sample pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["VertexPartition", "contiguous_partition", "compute_num_parts"]
+
+
+@dataclass
+class VertexPartition:
+    """A K-way disjoint partition of ``[0, num_vertices)``.
+
+    Attributes
+    ----------
+    part_of:
+        Array mapping each vertex to its part id.
+    parts:
+        List of vertex-id arrays, one per part.
+    """
+
+    num_vertices: int
+    part_of: np.ndarray
+    parts: list[np.ndarray]
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    def part_sizes(self) -> np.ndarray:
+        return np.array([p.shape[0] for p in self.parts], dtype=np.int64)
+
+    def mask(self, k: int) -> np.ndarray:
+        """Boolean mask over all vertices selecting part ``k``."""
+        m = np.zeros(self.num_vertices, dtype=bool)
+        m[self.parts[k]] = True
+        return m
+
+    def validate(self) -> None:
+        """Check disjointness and coverage; raise ``ValueError`` otherwise."""
+        seen = np.zeros(self.num_vertices, dtype=np.int64)
+        for p in self.parts:
+            seen[p] += 1
+        if np.any(seen != 1):
+            raise ValueError("partition must cover every vertex exactly once")
+        for k, p in enumerate(self.parts):
+            if not np.all(self.part_of[p] == k):
+                raise ValueError("part_of is inconsistent with parts")
+
+
+def contiguous_partition(num_vertices: int, num_parts: int) -> VertexPartition:
+    """Split ``[0, num_vertices)`` into ``num_parts`` contiguous ranges.
+
+    Contiguous ranges keep each sub-matrix a contiguous slice of the
+    embedding matrix, which is what makes host<->device copies cheap in the
+    original implementation (and NumPy slices views here).
+    """
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    if num_parts > max(num_vertices, 1):
+        num_parts = max(num_vertices, 1)
+    boundaries = np.linspace(0, num_vertices, num_parts + 1, dtype=np.int64)
+    parts = [np.arange(boundaries[k], boundaries[k + 1], dtype=np.int64)
+             for k in range(num_parts)]
+    part_of = np.zeros(num_vertices, dtype=np.int64)
+    for k, p in enumerate(parts):
+        part_of[p] = k
+    return VertexPartition(num_vertices=num_vertices, part_of=part_of, parts=parts)
+
+
+def compute_num_parts(num_vertices: int, dim: int, itemsize: int,
+                      device_bytes: int, *, resident_parts: int = 3,
+                      reserve_fraction: float = 0.15) -> int:
+    """Derive K (the paper's ``GetEmbeddingPartInfo``).
+
+    ``resident_parts`` sub-matrices must fit on the device together, leaving
+    ``reserve_fraction`` of the memory for sample pools and scratch space.
+
+    Returns at least 1; returns 1 when the whole matrix fits (no partitioning
+    needed).
+    """
+    if num_vertices <= 0:
+        return 1
+    usable = device_bytes * (1.0 - reserve_fraction)
+    full_matrix = num_vertices * dim * itemsize
+    if full_matrix <= usable:
+        return 1
+    per_part_budget = usable / resident_parts
+    max_vertices_per_part = int(per_part_budget // (dim * itemsize))
+    if max_vertices_per_part <= 0:
+        raise ValueError(
+            "device memory too small to hold even a single vertex vector; "
+            f"need at least {dim * itemsize} usable bytes"
+        )
+    k = int(np.ceil(num_vertices / max_vertices_per_part))
+    return max(k, 2)
+
+
+def partition_degrees(graph: CSRGraph, partition: VertexPartition) -> np.ndarray:
+    """Total degree per part (useful for load-balance diagnostics)."""
+    return np.array([int(graph.degrees[p].sum()) for p in partition.parts], dtype=np.int64)

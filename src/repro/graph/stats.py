@@ -1,0 +1,116 @@
+"""Graph statistics and structural diagnostics.
+
+Used by the dataset registry (to report Table 2-style rows for the synthetic
+twins) and by coarsening-quality metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphStats", "compute_stats", "degree_histogram", "connected_components",
+           "largest_component"]
+
+
+@dataclass
+class GraphStats:
+    """Summary statistics in the shape of the paper's Table 2."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    density: float
+    max_degree: int
+    mean_degree: float
+    degree_skew: float
+    isolated_vertices: int
+
+    def as_row(self) -> dict[str, float | int | str]:
+        return {
+            "Graph": self.name,
+            "|V|": self.num_vertices,
+            "|E|": self.num_edges,
+            "Density": round(self.density, 2),
+            "max deg": self.max_degree,
+            "mean deg": round(self.mean_degree, 2),
+            "skew": round(self.degree_skew, 2),
+        }
+
+
+def compute_stats(graph: CSRGraph) -> GraphStats:
+    """Compute Table 2-style statistics plus degree-skew diagnostics."""
+    deg = graph.degrees.astype(np.float64)
+    mean = float(deg.mean()) if deg.size else 0.0
+    std = float(deg.std()) if deg.size else 0.0
+    # Pearson's moment coefficient of skewness; 0 for regular graphs, large
+    # for power-law graphs.  Guard against zero variance.
+    if std > 0:
+        skew = float(np.mean(((deg - mean) / std) ** 3))
+    else:
+        skew = 0.0
+    return GraphStats(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_undirected_edges,
+        density=graph.density,
+        max_degree=int(deg.max()) if deg.size else 0,
+        mean_degree=mean,
+        degree_skew=skew,
+        isolated_vertices=int(np.sum(graph.degrees == 0)),
+    )
+
+
+def degree_histogram(graph: CSRGraph, *, bins: int = 32, log: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of vertex degrees (log-spaced bins by default)."""
+    deg = graph.degrees
+    if deg.size == 0:
+        return np.zeros(0), np.zeros(0)
+    max_deg = max(int(deg.max()), 1)
+    if log:
+        edges = np.unique(np.round(np.logspace(0, np.log10(max_deg + 1), bins)).astype(np.int64))
+    else:
+        edges = np.linspace(0, max_deg + 1, bins).astype(np.int64)
+    hist, edges = np.histogram(deg, bins=edges)
+    return hist, edges
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Label connected components with an iterative BFS (no recursion).
+
+    Returns an array of component ids, one per vertex.  Treats the graph as
+    undirected regardless of its ``undirected`` flag.
+    """
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] != -1:
+            continue
+        labels[start] = current
+        frontier = [start]
+        while frontier:
+            next_frontier: list[int] = []
+            for v in frontier:
+                for u in graph.neighbors(v):
+                    u = int(u)
+                    if labels[u] == -1:
+                        labels[u] = current
+                        next_frontier.append(u)
+            frontier = next_frontier
+        current += 1
+    return labels
+
+
+def largest_component(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph of the largest connected component."""
+    labels = connected_components(graph)
+    if labels.size == 0:
+        return graph, np.zeros(0, dtype=np.int64)
+    counts = np.bincount(labels)
+    biggest = int(np.argmax(counts))
+    vertices = np.flatnonzero(labels == biggest)
+    return graph.subgraph(vertices)

@@ -1,0 +1,28 @@
+"""Benchmark harness: dataset registry, experiment runner, table formatting."""
+
+from .datasets import (
+    ALL_DATASETS,
+    LARGE_DATASETS,
+    MEDIUM_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    paper_table2_rows,
+)
+from .runner import ExperimentRunner, ToolRun, default_tools
+from .tables import format_table, print_table
+
+__all__ = [
+    "ALL_DATASETS",
+    "LARGE_DATASETS",
+    "MEDIUM_DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "paper_table2_rows",
+    "ExperimentRunner",
+    "ToolRun",
+    "default_tools",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,25 @@
+"""Large-graph (out-of-device-memory) training engine — Section 3.3 of the paper."""
+
+from .gpu_state import GPUState
+from .rotation import count_switches, inside_out_order, naive_order, validate_rotation_cover
+from .sample_pool import SamplePool, SamplePoolManager
+from .scheduler import (
+    LargeGraphConfig,
+    LargeGraphStats,
+    LargeGraphTrainer,
+    train_large_graph,
+)
+
+__all__ = [
+    "GPUState",
+    "count_switches",
+    "inside_out_order",
+    "naive_order",
+    "validate_rotation_cover",
+    "SamplePool",
+    "SamplePoolManager",
+    "LargeGraphConfig",
+    "LargeGraphStats",
+    "LargeGraphTrainer",
+    "train_large_graph",
+]

@@ -1,0 +1,142 @@
+"""GPUState bookkeeping for the large-graph engine.
+
+Algorithm 5 keeps an array ``GPUState`` of size ``P_GPU``: ``GPUState[j] = k``
+means device bin ``j`` currently holds sub-matrix ``M^k``; ``-1`` means the
+bin is empty.  ``SwitchSubMatrices(j, k)`` copies ``M^j`` out (write-back),
+copies ``M^k`` in, and updates the state.  ``NextSubMatrix`` picks which part
+to prefetch given the upcoming pairs.
+
+This module implements that bookkeeping against the simulated device: bins
+are :class:`DeviceBuffer` allocations, so over-subscription raises the same
+``DeviceMemoryError`` a real card would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.device import DeviceBuffer, SimulatedDevice
+
+__all__ = ["GPUState"]
+
+
+@dataclass
+class GPUState:
+    """Resident sub-matrix manager (the paper's ``GPUState`` array).
+
+    Parameters
+    ----------
+    embedding:
+        The full host-side embedding matrix; sub-matrices are row slices
+        defined by ``parts`` (lists of global vertex ids).
+    parts:
+        Vertex-id array per part.
+    device:
+        The simulated device that hosts the resident copies.
+    num_bins:
+        The paper's ``P_GPU``.
+    """
+
+    embedding: np.ndarray
+    parts: list[np.ndarray]
+    device: SimulatedDevice
+    num_bins: int = 3
+    bins: list[int] = field(default_factory=list)          # part id per bin, -1 = empty
+    buffers: list[DeviceBuffer | None] = field(default_factory=list)
+    switches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_bins < 2:
+            raise ValueError("P_GPU must be at least 2 (a pair must fit)")
+        self.bins = [-1] * self.num_bins
+        self.buffers = [None] * self.num_bins
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_parts(self) -> list[int]:
+        return [b for b in self.bins if b >= 0]
+
+    def is_resident(self, part: int) -> bool:
+        return part in self.bins
+
+    def bin_of(self, part: int) -> int:
+        return self.bins.index(part)
+
+    def submatrix(self, part: int) -> np.ndarray:
+        """The resident (device) array for a part; raises if not resident."""
+        buf = self.buffers[self.bin_of(part)]
+        assert buf is not None
+        return buf.array
+
+    # ------------------------------------------------------------------ #
+    def load(self, part: int, *, bin_index: int | None = None) -> None:
+        """``SwitchSubMatrices(old, part)``: evict the chosen bin and load ``part``."""
+        if self.is_resident(part):
+            return
+        if bin_index is None:
+            # Prefer an empty bin; otherwise evict the least-recently-loaded
+            # part that is not needed right now (caller controls order).
+            if -1 in self.bins:
+                bin_index = self.bins.index(-1)
+            else:
+                bin_index = 0
+        self._evict_bin(bin_index)
+        sub = self.embedding[self.parts[part]]
+        buf = self.device.upload(sub, name=f"submatrix[{part}]")
+        self.bins[bin_index] = part
+        self.buffers[bin_index] = buf
+        self.switches += 1
+
+    def _evict_bin(self, bin_index: int) -> None:
+        """Write the bin's sub-matrix back to the host and free the device copy."""
+        part = self.bins[bin_index]
+        buf = self.buffers[bin_index]
+        if part >= 0 and buf is not None:
+            self.embedding[self.parts[part]] = self.device.download(buf)
+            buf.free()
+        self.bins[bin_index] = -1
+        self.buffers[bin_index] = None
+
+    def evict_part(self, part: int) -> None:
+        if self.is_resident(part):
+            self._evict_bin(self.bin_of(part))
+
+    def ensure_pair(self, part_a: int, part_b: int,
+                    upcoming: list[tuple[int, int]] | None = None) -> None:
+        """Make both parts of a pair resident, evicting parts not needed soon.
+
+        ``upcoming`` (the remaining rotation order) drives the
+        ``NextSubMatrix`` choice: a resident part that appears soonest in the
+        upcoming pairs is kept, the one needed furthest in the future (or
+        never) is evicted first — a Belady-style policy that maximises the
+        overlap P_GPU = 3 buys.
+        """
+        for part in dict.fromkeys((part_a, part_b)):  # preserve order, dedupe
+            if self.is_resident(part):
+                continue
+            if -1 in self.bins:
+                self.load(part, bin_index=self.bins.index(-1))
+                continue
+            victim_bin = self._choose_victim((part_a, part_b), upcoming or [])
+            self.load(part, bin_index=victim_bin)
+
+    def _choose_victim(self, needed_now: tuple[int, int], upcoming: list[tuple[int, int]]) -> int:
+        next_use: dict[int, int] = {}
+        for distance, (a, b) in enumerate(upcoming):
+            for p in (a, b):
+                next_use.setdefault(p, distance)
+        best_bin, best_score = 0, -1
+        for bin_index, part in enumerate(self.bins):
+            if part in needed_now:
+                continue
+            score = next_use.get(part, len(upcoming) + 1)
+            if score > best_score:
+                best_bin, best_score = bin_index, score
+        return best_bin
+
+    def flush(self) -> None:
+        """Write every resident sub-matrix back to the host (end of training)."""
+        for bin_index in range(self.num_bins):
+            self._evict_bin(bin_index)

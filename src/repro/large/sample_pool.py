@@ -1,0 +1,159 @@
+"""Host-side positive sampling for the large-graph engine (SampleManager / PoolManager).
+
+When a graph is too large to keep on the device, GOSH draws the positive
+samples on the host: for the kernel that processes the part pair
+``(V^j, V^k)``, a *sample pool* ``S^{j,k}`` holds, for every vertex of
+``V^j``, up to ``B`` positive neighbours that fall inside ``V^k`` (and
+symmetrically for ``V^k`` vs ``V^j``).  Pools are produced ahead of time by
+the SampleManager thread, buffered, and shipped to the device by the
+PoolManager; at most ``S_GPU`` pools are resident.
+
+Here the producer/consumer threads become an explicit pipeline object with
+the same buffering semantics (bounded queue of ready pools, refill on
+consumption); the benchmark harness uses the recorded production/consumption
+counters to show the overlap behaviour, and the scheduler in
+:mod:`repro.large.scheduler` consumes pools exactly as Algorithm 5 does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.partition import VertexPartition
+
+__all__ = ["SamplePool", "SamplePoolManager"]
+
+
+@dataclass
+class SamplePool:
+    """Positive samples for one (part_a, part_b) kernel.
+
+    ``src``/``dst`` are global vertex ids; every ``src`` belongs to
+    ``part_a`` and every ``dst`` to ``part_b`` (or vice versa — the pool
+    stores both directions so the kernel can update both parts).
+    """
+
+    part_a: int
+    part_b: int
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.src.shape[0])
+
+    def nbytes(self) -> int:
+        return int(self.src.nbytes + self.dst.nbytes)
+
+
+@dataclass
+class SamplePoolManager:
+    """Builds and buffers sample pools for a partitioned training run.
+
+    Parameters
+    ----------
+    graph:
+        The level's graph (kept on the host — never copied to the device).
+    partition:
+        The K-way vertex partition.
+    batch_per_vertex:
+        The paper's ``B`` — positive samples per vertex per pool.
+    max_resident_pools:
+        The paper's ``S_GPU`` — maximum number of pools buffered "on the
+        device" at once.
+    """
+
+    graph: CSRGraph
+    partition: VertexPartition
+    batch_per_vertex: int = 5
+    max_resident_pools: int = 4
+    seed: int = 0
+    pools_produced: int = 0
+    pools_consumed: int = 0
+    samples_produced: int = 0
+    _buffer: "OrderedDict[tuple[int, int], SamplePool]" = field(default_factory=OrderedDict)
+    _rng: np.random.Generator = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        # Pre-compute part membership masks once; pools are built lazily.
+        self._masks = [self.partition.mask(k) for k in range(self.partition.num_parts)]
+
+    # ------------------------------------------------------------------ #
+    # Production (SampleManager role)
+    # ------------------------------------------------------------------ #
+    def _sample_direction(self, from_part: int, to_part: int) -> tuple[np.ndarray, np.ndarray]:
+        """For every vertex of ``from_part``, draw B neighbours inside ``to_part``."""
+        vertices = self.partition.parts[from_part]
+        to_mask = self._masks[to_part]
+        xadj, adj = self.graph.xadj, self.graph.adj
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        B = self.batch_per_vertex
+        for v in vertices:
+            v = int(v)
+            nbrs = adj[xadj[v]: xadj[v + 1]]
+            if nbrs.shape[0] == 0:
+                continue
+            valid = nbrs[to_mask[nbrs]]
+            if valid.shape[0] == 0:
+                # The paper's "almost equivalent" caveat: vertices with no
+                # neighbour in the partner part contribute no positive samples.
+                continue
+            picks = valid[self._rng.integers(0, valid.shape[0], size=B)]
+            srcs.append(np.full(B, v, dtype=np.int64))
+            dsts.append(picks)
+        if not srcs:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        return np.concatenate(srcs), np.concatenate(dsts)
+
+    def build_pool(self, part_a: int, part_b: int) -> SamplePool:
+        """Build the pool for one part pair (both sampling directions)."""
+        src_ab, dst_ab = self._sample_direction(part_a, part_b)
+        if part_a != part_b:
+            src_ba, dst_ba = self._sample_direction(part_b, part_a)
+            src = np.concatenate([src_ab, src_ba])
+            dst = np.concatenate([dst_ab, dst_ba])
+        else:
+            src, dst = src_ab, dst_ab
+        pool = SamplePool(part_a=part_a, part_b=part_b, src=src, dst=dst)
+        self.pools_produced += 1
+        self.samples_produced += pool.num_samples
+        return pool
+
+    def prefetch(self, upcoming_pairs: list[tuple[int, int]]) -> None:
+        """Fill the buffer with pools for the next pairs (PoolManager role)."""
+        for pair in upcoming_pairs:
+            if len(self._buffer) >= self.max_resident_pools:
+                break
+            key = (max(pair), min(pair))
+            if key not in self._buffer:
+                self._buffer[key] = self.build_pool(*key)
+
+    # ------------------------------------------------------------------ #
+    # Consumption (device side of Algorithm 5, line 10)
+    # ------------------------------------------------------------------ #
+    def acquire(self, part_a: int, part_b: int) -> SamplePool:
+        """Get (building if necessary) and consume the pool for a pair."""
+        key = (max(part_a, part_b), min(part_a, part_b))
+        pool = self._buffer.pop(key, None)
+        if pool is None:
+            pool = self.build_pool(*key)
+        self.pools_consumed += 1
+        return pool
+
+    @property
+    def resident_pools(self) -> int:
+        return len(self._buffer)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "pools_produced": self.pools_produced,
+            "pools_consumed": self.pools_consumed,
+            "samples_produced": self.samples_produced,
+            "resident_pools": self.resident_pools,
+        }

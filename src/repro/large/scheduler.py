@@ -1,0 +1,156 @@
+"""LargeGraphGPU — the out-of-memory training engine (Algorithm 5, Section 3.3).
+
+When a level's embedding matrix does not fit on the (simulated) device, the
+vertex set is partitioned into ``K`` parts and training proceeds in
+*rotations*: during one rotation every part pair ``(V^a, V^b)`` is processed
+once, with ``B`` positive samples per vertex (drawn on the host by the
+:class:`~repro.large.sample_pool.SamplePoolManager`) and ``B * ns`` negative
+samples per vertex drawn from the partner part on the device.  One rotation
+is therefore (almost) equivalent to ``B * K`` epochs, so the engine runs
+``ceil(e_i / (B * K))`` rotations to honour the level's epoch budget.
+
+The number of parts ``K`` is derived from the device-memory budget so that
+``P_GPU`` sub-matrices plus the sample-pool buffers fit; sub-matrix residency
+is managed by :class:`~repro.large.gpu_state.GPUState` (allocation failures
+on the simulated device are real errors, not warnings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.partition import compute_num_parts, contiguous_partition
+from ..gpu.device import SimulatedDevice
+from ..gpu.kernels import train_pair_kernel
+from ..gpu.streams import StreamTimeline
+from ..gpu.warp import WarpConfig
+from .gpu_state import GPUState
+from .rotation import inside_out_order
+from .sample_pool import SamplePoolManager
+
+__all__ = ["LargeGraphConfig", "LargeGraphStats", "LargeGraphTrainer", "train_large_graph"]
+
+
+@dataclass(frozen=True)
+class LargeGraphConfig:
+    """Section 3.3 knobs with the paper's defaults."""
+
+    positive_batch_per_vertex: int = 5   # B
+    resident_submatrices: int = 3        # P_GPU
+    resident_sample_pools: int = 4       # S_GPU
+    negative_samples: int = 3            # ns
+    learning_rate: float = 0.035
+    lr_decay_floor: float = 1e-4
+    small_dim_mode: bool = True
+    seed: int = 0
+    min_parts: int | None = None         # force K >= min_parts (tests / figure 3)
+
+
+@dataclass
+class LargeGraphStats:
+    """Execution record of one large-graph training call."""
+
+    num_parts: int = 0
+    rotations: int = 0
+    kernels: int = 0
+    positive_samples: int = 0
+    submatrix_switches: int = 0
+    seconds: float = 0.0
+    timeline: StreamTimeline = field(default_factory=StreamTimeline)
+
+
+class LargeGraphTrainer:
+    """Runs Algorithm 5 for one level against a simulated device."""
+
+    def __init__(self, device: SimulatedDevice, config: LargeGraphConfig | None = None):
+        self.device = device
+        self.config = config or LargeGraphConfig()
+
+    def train(self, graph: CSRGraph, embedding: np.ndarray, epochs: int, *,
+              base_lr: float | None = None) -> LargeGraphStats:
+        """Train ``embedding`` in place for (approximately) ``epochs`` epochs."""
+        cfg = self.config
+        n, dim = embedding.shape
+        if n != graph.num_vertices:
+            raise ValueError("embedding and graph disagree on |V|")
+        rng = np.random.default_rng(cfg.seed)
+        lr0 = cfg.learning_rate if base_lr is None else base_lr
+
+        # --- Line 1: GetEmbeddingPartInfo -------------------------------- #
+        k = compute_num_parts(
+            n, dim, embedding.dtype.itemsize, self.device.spec.memory_bytes,
+            resident_parts=cfg.resident_submatrices,
+        )
+        if cfg.min_parts is not None:
+            k = max(k, cfg.min_parts)
+        partition = contiguous_partition(n, k)
+        k = partition.num_parts
+
+        B = cfg.positive_batch_per_vertex
+        rotations = max(1, int(np.ceil(epochs / (B * k))))
+
+        pools = SamplePoolManager(
+            graph=graph, partition=partition,
+            batch_per_vertex=B, max_resident_pools=cfg.resident_sample_pools,
+            seed=cfg.seed,
+        )
+        state = GPUState(embedding=embedding, parts=partition.parts,
+                         device=self.device, num_bins=cfg.resident_submatrices)
+        warp_config = WarpConfig(dim=dim, small_dim_mode=cfg.small_dim_mode)
+        stats = LargeGraphStats(num_parts=k, rotations=rotations)
+
+        order = inside_out_order(k)
+        t0 = perf_counter()
+        total_kernels = rotations * len(order)
+        kernel_index = 0
+        for rotation in range(rotations):
+            # Learning rate decays across rotations the way it decays across
+            # epochs in the in-memory trainer.
+            lr = lr0 * max(1.0 - rotation / rotations, cfg.lr_decay_floor)
+            for pair_pos, (a, b) in enumerate(order):
+                upcoming = order[pair_pos + 1:]
+                # Prefetch pools for the next few pairs (PoolManager role).
+                pools.prefetch(upcoming[: cfg.resident_sample_pools])
+                state.ensure_pair(a, b, upcoming=upcoming)
+                pool = pools.acquire(a, b)
+
+                sub_a = state.submatrix(a)
+                sub_b = state.submatrix(b) if b != a else sub_a
+                # Split the pool by direction: sources in part a vs part b.
+                in_a = partition.part_of[pool.src] == a
+                t_kernel = perf_counter()
+                if np.any(in_a):
+                    train_pair_kernel(
+                        partition.parts[a], partition.parts[b], sub_a, sub_b,
+                        pool.src[in_a], pool.dst[in_a], cfg.negative_samples, lr, rng,
+                        device=self.device, warp_config=warp_config,
+                    )
+                if a != b and np.any(~in_a):
+                    train_pair_kernel(
+                        partition.parts[b], partition.parts[a], sub_b, sub_a,
+                        pool.src[~in_a], pool.dst[~in_a], cfg.negative_samples, lr, rng,
+                        device=self.device, warp_config=warp_config,
+                    )
+                kernel_seconds = perf_counter() - t_kernel
+                stats.timeline.record_kernel(kernel_seconds, label=f"pair({a},{b})",
+                                             wait_for_copies=(pair_pos == 0))
+                stats.kernels += 1
+                stats.positive_samples += pool.num_samples
+                kernel_index += 1
+        _ = total_kernels, kernel_index
+        state.flush()
+        stats.submatrix_switches = state.switches
+        stats.seconds = perf_counter() - t0
+        return stats
+
+
+def train_large_graph(graph: CSRGraph, embedding: np.ndarray, epochs: int,
+                      device: SimulatedDevice, *,
+                      config: LargeGraphConfig | None = None,
+                      base_lr: float | None = None) -> LargeGraphStats:
+    """Functional wrapper over :class:`LargeGraphTrainer`."""
+    return LargeGraphTrainer(device, config).train(graph, embedding, epochs, base_lr=base_lr)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, powerlaw_cluster, ring, star, stochastic_block_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A hand-built 6-vertex graph with a hub (vertex 0) and a tail."""
+    edges = [(0, 1), (0, 2), (0, 3), (1, 2), (3, 4), (4, 5)]
+    return CSRGraph.from_edges(6, edges, undirected=True, name="tiny")
+
+
+@pytest.fixture
+def small_power_graph() -> CSRGraph:
+    """A ~300-vertex power-law graph with clustering (fast to embed)."""
+    return powerlaw_cluster(300, m=3, p_triangle=0.5, seed=7)
+
+
+@pytest.fixture
+def community_graph() -> CSRGraph:
+    """A 4-block SBM whose structure an embedding must recover."""
+    return stochastic_block_model([80, 80, 80, 80], p_in=0.15, p_out=0.005, seed=3)
+
+
+@pytest.fixture
+def star_graph() -> CSRGraph:
+    return star(50)
+
+
+@pytest.fixture
+def ring_graph() -> CSRGraph:
+    return ring(64)

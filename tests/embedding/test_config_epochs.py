@@ -1,0 +1,138 @@
+"""Unit tests for GOSH configurations (Table 3) and epoch distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    CONFIGURATIONS,
+    FAST,
+    NO_COARSE,
+    NORMAL,
+    SLOW,
+    GoshConfig,
+    distribute_epochs,
+    get_config,
+    learning_rate_schedule,
+    per_epoch_learning_rate,
+)
+
+
+class TestTable3Configurations:
+    def test_paper_values(self):
+        assert FAST.smoothing_ratio == pytest.approx(0.1)
+        assert FAST.learning_rate == pytest.approx(0.050)
+        assert FAST.epochs == 600 and FAST.epochs_large == 100
+        assert NORMAL.smoothing_ratio == pytest.approx(0.3)
+        assert NORMAL.learning_rate == pytest.approx(0.035)
+        assert NORMAL.epochs == 1000 and NORMAL.epochs_large == 200
+        assert SLOW.smoothing_ratio == pytest.approx(0.5)
+        assert SLOW.learning_rate == pytest.approx(0.025)
+        assert SLOW.epochs == 1400 and SLOW.epochs_large == 300
+        assert NO_COARSE.use_coarsening is False
+        assert NO_COARSE.learning_rate == pytest.approx(0.045)
+
+    def test_defaults_from_paper(self):
+        assert NORMAL.coarsening_threshold == 100
+        assert NORMAL.positive_batch_per_vertex == 5   # B
+        assert NORMAL.resident_submatrices == 3        # P_GPU
+        assert NORMAL.resident_sample_pools == 4       # S_GPU
+
+    def test_lookup_by_name(self):
+        assert get_config("FAST") is FAST
+        assert get_config("no-coarsening") is NO_COARSE
+        with pytest.raises(KeyError):
+            get_config("turbo")
+        assert set(CONFIGURATIONS) >= {"fast", "normal", "slow"}
+
+    def test_scaled_keeps_ratios(self):
+        scaled = SLOW.scaled(0.1, dim=32)
+        assert scaled.epochs == 140
+        assert scaled.epochs_large == 30
+        assert scaled.dim == 32
+        assert scaled.smoothing_ratio == SLOW.smoothing_ratio
+
+    def test_with_override(self):
+        cfg = NORMAL.with_(negative_samples=7)
+        assert cfg.negative_samples == 7
+        assert NORMAL.negative_samples == 3
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            GoshConfig(dim=0).validate()
+        with pytest.raises(ValueError):
+            GoshConfig(smoothing_ratio=1.5).validate()
+        with pytest.raises(ValueError):
+            GoshConfig(learning_rate=0).validate()
+        with pytest.raises(ValueError):
+            GoshConfig(epochs=0).validate()
+        with pytest.raises(ValueError):
+            GoshConfig(resident_submatrices=1).validate()
+        NORMAL.validate()
+
+
+class TestDistributeEpochs:
+    def test_sums_to_budget(self):
+        for total in (10, 100, 1000, 1401):
+            for levels in (1, 2, 3, 5, 8):
+                for p in (0.0, 0.1, 0.3, 0.5, 1.0):
+                    epochs = distribute_epochs(total, levels, p)
+                    assert sum(epochs) == total
+                    assert len(epochs) == levels
+
+    def test_single_level_gets_everything(self):
+        assert distribute_epochs(123, 1, 0.3) == [123]
+
+    def test_coarser_levels_get_more(self):
+        epochs = distribute_epochs(1000, 5, 0.3)
+        assert all(epochs[i] <= epochs[i + 1] for i in range(4))
+        assert epochs[-1] > epochs[0]
+
+    def test_uniform_when_p_is_one(self):
+        epochs = distribute_epochs(100, 4, 1.0)
+        assert max(epochs) - min(epochs) <= 1
+
+    def test_geometric_when_p_is_zero(self):
+        epochs = distribute_epochs(64 + 32 + 16 + 8, 4, 0.0)
+        # pure geometric: each coarser level roughly doubles
+        assert epochs[-1] > 1.5 * epochs[-2]
+
+    def test_every_level_gets_an_epoch_when_possible(self):
+        epochs = distribute_epochs(50, 6, 0.0)
+        assert all(e >= 1 for e in epochs)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            distribute_epochs(0, 3, 0.5)
+        with pytest.raises(ValueError):
+            distribute_epochs(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            distribute_epochs(10, 3, 1.5)
+
+    def test_smoothing_interpolates(self):
+        geo = distribute_epochs(1000, 4, 0.0)
+        uni = distribute_epochs(1000, 4, 1.0)
+        mid = distribute_epochs(1000, 4, 0.5)
+        # the finest level share grows monotonically with p
+        assert geo[0] <= mid[0] <= uni[0] + 1
+
+
+class TestLearningRateSchedule:
+    def test_paper_formula(self):
+        # lr_j = lr * max(1 - j/e_i, 1e-4)
+        assert per_epoch_learning_rate(0.05, 0, 100) == pytest.approx(0.05)
+        assert per_epoch_learning_rate(0.05, 50, 100) == pytest.approx(0.025)
+        assert per_epoch_learning_rate(0.05, 100, 100) == pytest.approx(0.05 * 1e-4)
+
+    def test_floor(self):
+        assert per_epoch_learning_rate(0.1, 1000, 10) == pytest.approx(0.1 * 1e-4)
+
+    def test_schedule_vector(self):
+        sched = learning_rate_schedule(0.04, 10)
+        assert sched.shape == (10,)
+        assert sched[0] == pytest.approx(0.04)
+        assert np.all(np.diff(sched) < 0)
+
+    def test_zero_epochs(self):
+        assert learning_rate_schedule(0.1, 0).size == 0

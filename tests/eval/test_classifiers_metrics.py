@@ -1,0 +1,200 @@
+"""Unit tests for the logistic classifiers, metrics, and the end-to-end pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import NORMAL, embed
+from repro.eval import (
+    LogisticRegression,
+    SGDLogisticClassifier,
+    accuracy,
+    auc_roc,
+    average_precision,
+    evaluate_embedding,
+    node_classification,
+    precision_recall_f1,
+    roc_curve,
+    run_link_prediction,
+    train_test_split,
+)
+from repro.graph import stochastic_block_model
+
+
+def _separable_data(n=400, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (X @ w + 0.1 * rng.normal(size=n) > 0).astype(float)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        X, y = _separable_data()
+        model = LogisticRegression(max_iter=500)
+        model.fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_predict_proba_shape_and_range(self):
+        X, y = _separable_data(100)
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().decision_function(np.ones((2, 3)))
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((3, 2)), np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((3, 2)), np.array([0, 1]))
+
+    def test_loss_decreases(self):
+        X, y = _separable_data(200)
+        model = LogisticRegression(max_iter=100)
+        model.fit(X, y)
+        assert model.losses_[-1] < model.losses_[0]
+
+
+class TestSGDClassifier:
+    def test_learns_separable_data(self):
+        X, y = _separable_data(600)
+        model = SGDLogisticClassifier(epochs=30, learning_rate=0.5, seed=0)
+        model.fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_partial_fit_streaming(self):
+        X, y = _separable_data(300)
+        model = SGDLogisticClassifier(learning_rate=0.5)
+        for _ in range(50):
+            model.partial_fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.85
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SGDLogisticClassifier().decision_function(np.ones((2, 3)))
+
+
+class TestMetrics:
+    def test_auc_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        assert auc_roc(labels, np.array([0.1, 0.2, 0.8, 0.9])) == pytest.approx(1.0)
+
+    def test_auc_inverted(self):
+        labels = np.array([0, 0, 1, 1])
+        assert auc_roc(labels, np.array([0.9, 0.8, 0.2, 0.1])) == pytest.approx(0.0)
+
+    def test_auc_random_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 5000)
+        scores = rng.random(5000)
+        assert auc_roc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_auc_handles_ties(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_roc(labels, scores) == pytest.approx(0.5)
+
+    def test_auc_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            auc_roc(np.ones(5), np.random.default_rng(0).random(5))
+
+    def test_auc_scale_invariant(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 200)
+        labels[:5] = 1
+        labels[5:10] = 0
+        scores = rng.random(200)
+        assert auc_roc(labels, scores) == pytest.approx(auc_roc(labels, scores * 10 + 3))
+
+    def test_roc_curve_monotone(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, 100)
+        labels[0] = 1
+        labels[1] = 0
+        scores = rng.random(100)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+
+    def test_accuracy_and_prf(self):
+        labels = np.array([1, 1, 0, 0])
+        preds = np.array([1, 0, 0, 0])
+        assert accuracy(labels, preds) == pytest.approx(0.75)
+        p, r, f1 = precision_recall_f1(labels, preds)
+        assert p == pytest.approx(1.0)
+        assert r == pytest.approx(0.5)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_average_precision_perfect(self):
+        assert average_precision(np.array([0, 1, 1]), np.array([0.1, 0.8, 0.9])) == pytest.approx(1.0)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 0]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestEndToEndPipelines:
+    def test_link_prediction_on_community_graph(self, community_graph):
+        result = run_link_prediction(
+            community_graph,
+            lambda tg: embed(tg, NORMAL.scaled(0.1, dim=16)).embedding,
+            seed=0,
+        )
+        assert 0.5 < result.auc <= 1.0
+        assert result.num_test_edges > 0
+        assert result.embed_seconds > 0
+        assert "AUCROC(%)" in result.as_row()
+
+    def test_evaluate_embedding_with_sgd_classifier(self, community_graph):
+        split = train_test_split(community_graph, seed=0)
+        emb = embed(split.train_graph, NORMAL.scaled(0.1, dim=16)).embedding
+        result = evaluate_embedding(emb, split, classifier="sgd", seed=0)
+        assert 0.4 < result.auc <= 1.0
+        assert result.classifier == "sgd"
+
+    def test_unknown_classifier_raises(self, community_graph):
+        split = train_test_split(community_graph, seed=0)
+        emb = np.random.default_rng(0).random((community_graph.num_vertices, 4))
+        with pytest.raises(ValueError):
+            evaluate_embedding(emb, split, classifier="svm")
+
+    def test_random_embedding_scores_near_chance(self, community_graph):
+        split = train_test_split(community_graph, seed=0)
+        emb = np.random.default_rng(0).random((community_graph.num_vertices, 16))
+        result = evaluate_embedding(emb, split, seed=0)
+        assert result.auc < 0.7
+
+    def test_undersized_embedding_raises(self, community_graph):
+        split = train_test_split(community_graph, seed=0)
+        with pytest.raises(ValueError):
+            evaluate_embedding(np.ones((3, 4)), split)
+
+
+class TestNodeClassification:
+    def test_recovers_sbm_blocks(self):
+        g = stochastic_block_model([70, 70, 70], p_in=0.2, p_out=0.01, seed=2)
+        emb = embed(g, NORMAL.scaled(0.1, dim=16)).embedding
+        labels = np.repeat(np.arange(3), 70)
+        result = node_classification(emb, labels, train_fraction=0.5, seed=0)
+        assert result.num_classes == 3
+        assert result.accuracy > 1.0 / 3.0 + 0.15
+        assert 0.0 <= result.macro_f1 <= 1.0
+        assert 0.0 <= result.micro_f1 <= 1.0
+
+    def test_validation(self):
+        emb = np.ones((10, 4))
+        with pytest.raises(ValueError):
+            node_classification(emb, np.zeros(5))
+        with pytest.raises(ValueError):
+            node_classification(emb, np.zeros(10), train_fraction=1.5)

@@ -1,0 +1,118 @@
+"""Unit tests for the simulated GPU device and memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    TITAN_X,
+    DeviceMemoryError,
+    DeviceSpec,
+    SimulatedDevice,
+    embedding_fits_on_device,
+)
+
+
+@pytest.fixture
+def small_device() -> SimulatedDevice:
+    return SimulatedDevice(spec=DeviceSpec(name="tiny", memory_bytes=1 << 20))  # 1 MB
+
+
+class TestAllocation:
+    def test_allocate_and_free(self, small_device):
+        buf = small_device.allocate((100, 100), np.float32, name="m")
+        assert small_device.allocated_bytes == 100 * 100 * 4
+        buf.free()
+        assert small_device.allocated_bytes == 0
+
+    def test_oversubscription_raises(self, small_device):
+        with pytest.raises(DeviceMemoryError):
+            small_device.allocate((1 << 20,), np.float64)
+
+    def test_peak_tracking(self, small_device):
+        a = small_device.allocate((100,), np.float64)
+        b = small_device.allocate((200,), np.float64)
+        a.free()
+        assert small_device.peak_allocated_bytes == 300 * 8
+        b.free()
+
+    def test_double_free_is_idempotent(self, small_device):
+        buf = small_device.allocate((10,), np.float32)
+        buf.free()
+        buf.free()
+        assert small_device.allocated_bytes == 0
+
+    def test_context_manager_frees(self, small_device):
+        with small_device.allocate((10,), np.float32) as buf:
+            assert buf.nbytes == 40
+        assert small_device.allocated_bytes == 0
+
+    def test_free_bytes(self, small_device):
+        small_device.allocate((10,), np.float32)
+        assert small_device.free_bytes == small_device.spec.memory_bytes - 40
+
+    def test_many_small_allocations_fill_device(self, small_device):
+        buffers = []
+        with pytest.raises(DeviceMemoryError):
+            for _ in range(10_000):
+                buffers.append(small_device.allocate((64,), np.float64))
+        assert small_device.allocated_bytes <= small_device.spec.memory_bytes
+
+
+class TestTransfers:
+    def test_upload_counts_bytes(self, small_device):
+        data = np.ones((64, 4), dtype=np.float32)
+        buf = small_device.upload(data)
+        assert small_device.bytes_transferred_h2d == data.nbytes
+        assert np.array_equal(buf.array, data)
+
+    def test_download_counts_bytes_and_copies(self, small_device):
+        data = np.arange(32, dtype=np.float32)
+        buf = small_device.upload(data)
+        out = small_device.download(buf)
+        assert small_device.bytes_transferred_d2h == data.nbytes
+        out[0] = 99
+        assert buf.array[0] == 0
+
+    def test_transfer_time_accumulates(self, small_device):
+        small_device.upload(np.ones(1000, dtype=np.float64))
+        assert small_device.simulated_transfer_seconds > 0
+
+
+class TestKernelAccounting:
+    def test_kernel_counter(self, small_device):
+        small_device.record_kernel(1000)
+        small_device.record_kernel(1000, efficiency=0.5)
+        assert small_device.num_kernel_launches == 2
+        assert small_device.simulated_compute_seconds > 0
+
+    def test_lower_efficiency_costs_more(self):
+        a = SimulatedDevice()
+        b = SimulatedDevice()
+        a.record_kernel(10_000, efficiency=1.0)
+        b.record_kernel(10_000, efficiency=0.25)
+        assert b.simulated_compute_seconds > a.simulated_compute_seconds
+
+    def test_reset(self, small_device):
+        small_device.upload(np.ones(10, dtype=np.float32))
+        small_device.record_kernel(10)
+        small_device.reset()
+        assert small_device.allocated_bytes == 0
+        assert small_device.num_kernel_launches == 0
+        assert small_device.memory_report()["h2d_bytes"] == 0
+
+
+class TestFitsCheck:
+    def test_titan_x_fits_medium_graph(self):
+        device = SimulatedDevice(spec=TITAN_X)
+        # 1M vertices x 128 dims x 4 bytes = 512 MB — fits in 12 GB.
+        assert embedding_fits_on_device(1_000_000, 128, 100 * 1024 * 1024, device)
+
+    def test_titan_x_rejects_huge_graph(self):
+        device = SimulatedDevice(spec=TITAN_X)
+        # 65M vertices x 128 dims x 4 bytes = 33 GB — the com-friendster case.
+        assert not embedding_fits_on_device(65_000_000, 128, 1 << 30, device)
+
+    def test_small_device_rejects(self, small_device):
+        assert not embedding_fits_on_device(10_000, 64, 0, small_device)

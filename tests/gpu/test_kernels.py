@@ -1,0 +1,240 @@
+"""Unit tests for the embedding kernels (Algorithm 1 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    SigmoidTable,
+    SimulatedDevice,
+    sigmoid,
+    train_epoch_naive,
+    train_epoch_optimized,
+    train_pair_kernel,
+    update_embedding_pair,
+)
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+        assert sigmoid(3.0) + sigmoid(-3.0) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        x = np.linspace(-50, 50, 101)
+        y = sigmoid(x)
+        assert np.all((y >= 0) & (y <= 1))
+
+    def test_monotone(self):
+        x = np.linspace(-5, 5, 50)
+        assert np.all(np.diff(sigmoid(x)) > 0)
+
+
+class TestSigmoidTable:
+    def test_matches_exact_within_tolerance(self):
+        table = SigmoidTable(bound=6.0, size=4096)
+        x = np.linspace(-5.5, 5.5, 333)
+        assert np.allclose(table(x), sigmoid(x), atol=5e-3)
+
+    def test_clipping(self):
+        table = SigmoidTable(bound=4.0, size=64)
+        assert table(np.array([100.0]))[0] == pytest.approx(sigmoid(4.0), abs=1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SigmoidTable(bound=-1)
+        with pytest.raises(ValueError):
+            SigmoidTable(size=1)
+
+
+class TestUpdatePair:
+    def test_positive_update_increases_dot(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=8) * 0.1
+        s = rng.normal(size=8) * 0.1
+        new_v, new_s = update_embedding_pair(v, s, True, lr=0.5)
+        assert np.dot(new_v, new_s) > np.dot(v, s)
+
+    def test_negative_update_decreases_dot(self):
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=8) * 0.1 + 0.2
+        s = rng.normal(size=8) * 0.1 + 0.2
+        new_v, new_s = update_embedding_pair(v, s, False, lr=0.5)
+        assert np.dot(new_v, new_s) < np.dot(v, s)
+
+    def test_matches_algorithm1_formula(self):
+        v = np.array([0.1, -0.2, 0.3])
+        s = np.array([0.05, 0.4, -0.1])
+        lr = 0.25
+        score = (1.0 - sigmoid(float(v @ s))) * lr
+        expected_v = v + s * score
+        expected_s = s + expected_v * score
+        new_v, new_s = update_embedding_pair(v, s, True, lr)
+        assert np.allclose(new_v, expected_v)
+        assert np.allclose(new_s, expected_s)
+
+    def test_zero_lr_is_noop(self):
+        v = np.ones(4)
+        s = np.ones(4)
+        new_v, new_s = update_embedding_pair(v, s, True, 0.0)
+        assert np.array_equal(new_v, v)
+        assert np.array_equal(new_s, s)
+
+
+class TestOptimizedEpoch:
+    def _setup(self, n=30, d=8, seed=0):
+        rng = np.random.default_rng(seed)
+        emb = (rng.random((n, d)).astype(np.float32) - 0.5) * 0.1
+        return emb, rng
+
+    def test_single_source_matches_reference(self):
+        """With one source and no races the kernel must equal Algorithm 1."""
+        emb, _ = self._setup()
+        reference = emb.astype(np.float64).copy()
+        sources = np.array([3])
+        positives = np.array([7])
+        negatives = np.array([[11, 19]])
+        lr = 0.1
+        # reference: positive then two negative updates with staged source
+        v = reference[3].copy()
+        for sample, b in ((7, 1.0), (11, 0.0), (19, 0.0)):
+            score = (b - sigmoid(float(v @ reference[sample]))) * lr
+            new_v = v + reference[sample] * score
+            reference[sample] = reference[sample] + new_v * score
+            v = new_v
+        reference[3] = v
+
+        train_epoch_optimized(emb, sources, positives, negatives, lr)
+        assert np.allclose(emb.astype(np.float64), reference, atol=1e-5)
+
+    def test_duplicate_sources_rejected(self):
+        emb, _ = self._setup()
+        with pytest.raises(ValueError):
+            train_epoch_optimized(emb, np.array([1, 1]), np.array([2, 3]),
+                                  np.array([[4], [5]]), 0.1)
+
+    def test_missing_positive_skipped(self):
+        emb, _ = self._setup()
+        before = emb.copy()
+        train_epoch_optimized(emb, np.array([0]), np.array([-1]),
+                              np.zeros((1, 0), dtype=np.int64), 0.1)
+        assert np.array_equal(emb, before)
+
+    def test_empty_sources_noop(self):
+        emb, _ = self._setup()
+        before = emb.copy()
+        train_epoch_optimized(emb, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                              np.zeros((0, 3), dtype=np.int64), 0.1)
+        assert np.array_equal(emb, before)
+
+    def test_sample_updates_survive_chunking(self):
+        """A vertex that is both a source and another source's sample keeps both updates."""
+        emb, _ = self._setup(n=4, d=4, seed=3)
+        sources = np.array([0, 1, 2, 3])
+        positives = np.array([1, 0, 3, 2])
+        negatives = np.zeros((4, 0), dtype=np.int64)
+        before = emb.copy()
+        train_epoch_optimized(emb, sources, positives, negatives, 0.5, chunk_size=2)
+        # every row must have moved (it was updated as a source AND as a sample)
+        assert np.all(np.any(emb != before, axis=1))
+
+    def test_device_accounting(self):
+        emb, _ = self._setup()
+        device = SimulatedDevice()
+        train_epoch_optimized(emb, np.arange(10), np.arange(1, 11),
+                              np.random.default_rng(0).integers(0, 30, (10, 2)),
+                              0.1, device=device)
+        assert device.num_kernel_launches == 1
+        assert device.simulated_compute_seconds > 0
+
+    def test_positive_epoch_pulls_neighbors_together(self):
+        emb, rng = self._setup(n=20, d=8, seed=2)
+        sources = np.arange(20)
+        positives = (sources + 1) % 20
+        negatives = np.zeros((20, 0), dtype=np.int64)
+        before = float(np.mean(np.einsum("ij,ij->i", emb[sources], emb[positives])))
+        for _ in range(30):
+            train_epoch_optimized(emb, sources, positives, negatives, 0.3)
+        after = float(np.mean(np.einsum("ij,ij->i", emb[sources], emb[positives])))
+        assert after > before
+
+
+class TestNaiveEpoch:
+    def test_same_direction_as_optimized(self):
+        rng = np.random.default_rng(5)
+        emb_a = (rng.random((15, 6)).astype(np.float32) - 0.5) * 0.1
+        emb_b = emb_a.copy()
+        sources = np.arange(15)
+        positives = (sources + 3) % 15
+        negatives = rng.integers(0, 15, (15, 2))
+        train_epoch_optimized(emb_a, sources, positives, negatives, 0.2)
+        train_epoch_naive(emb_b, sources, positives, negatives, 0.2)
+        # Not bit-identical (different global-traffic schedule), but both push
+        # positive pairs closer on average.
+        dot_a = np.mean(np.einsum("ij,ij->i", emb_a[sources], emb_a[positives]))
+        dot_b = np.mean(np.einsum("ij,ij->i", emb_b[sources], emb_b[positives]))
+        assert dot_a > 0 or dot_b > 0
+
+    def test_device_cost_higher_than_optimized(self):
+        rng = np.random.default_rng(6)
+        emb = (rng.random((20, 8)).astype(np.float32) - 0.5) * 0.1
+        d_opt, d_naive = SimulatedDevice(), SimulatedDevice()
+        sources = np.arange(20)
+        positives = (sources + 1) % 20
+        negatives = rng.integers(0, 20, (20, 3))
+        train_epoch_optimized(emb.copy(), sources, positives, negatives, 0.1, device=d_opt)
+        train_epoch_naive(emb.copy(), sources, positives, negatives, 0.1, device=d_naive)
+        assert d_naive.simulated_compute_seconds > d_opt.simulated_compute_seconds
+
+
+class TestPairKernel:
+    def test_updates_only_resident_parts(self):
+        rng = np.random.default_rng(0)
+        n, d = 20, 6
+        emb = (rng.random((n, d)).astype(np.float32) - 0.5) * 0.1
+        part_a = np.arange(0, 10)
+        part_b = np.arange(10, 20)
+        sub_a = emb[part_a].copy()
+        sub_b = emb[part_b].copy()
+        pos_src = np.array([0, 1, 2])
+        pos_dst = np.array([10, 11, 12])
+        before_a, before_b = sub_a.copy(), sub_b.copy()
+        train_pair_kernel(part_a, part_b, sub_a, sub_b, pos_src, pos_dst,
+                          ns=2, lr=0.2, rng=rng)
+        assert not np.array_equal(sub_a, before_a)
+        assert not np.array_equal(sub_b, before_b)
+        # the master embedding array is untouched (sub-matrices are copies)
+        assert np.allclose(emb[part_a], before_a)
+
+    def test_positive_pairs_pulled_together(self):
+        rng = np.random.default_rng(1)
+        n, d = 16, 8
+        emb = (rng.random((n, d)).astype(np.float32) - 0.5) * 0.1
+        part_a, part_b = np.arange(0, 8), np.arange(8, 16)
+        sub_a, sub_b = emb[part_a].copy(), emb[part_b].copy()
+        pos_src = np.arange(0, 8)
+        pos_dst = np.arange(8, 16)
+        before = float(np.mean(np.einsum("ij,ij->i", sub_a, sub_b)))
+        for _ in range(40):
+            train_pair_kernel(part_a, part_b, sub_a, sub_b, pos_src, pos_dst,
+                              ns=0, lr=0.3, rng=rng)
+        after = float(np.mean(np.einsum("ij,ij->i", sub_a, sub_b)))
+        assert after > before
+
+    def test_mismatched_pairs_raise(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            train_pair_kernel(np.arange(4), np.arange(4, 8),
+                              np.zeros((4, 2), dtype=np.float32),
+                              np.zeros((4, 2), dtype=np.float32),
+                              np.array([0, 1]), np.array([4]), 1, 0.1, rng)
+
+    def test_self_pair_uses_shared_storage(self):
+        rng = np.random.default_rng(3)
+        part = np.arange(0, 10)
+        sub = (rng.random((10, 4)).astype(np.float32) - 0.5) * 0.1
+        before = sub.copy()
+        train_pair_kernel(part, part, sub, sub, np.array([0, 1]), np.array([2, 3]),
+                          ns=1, lr=0.2, rng=rng)
+        assert not np.array_equal(sub, before)

@@ -1,0 +1,172 @@
+"""Unit tests for the CSR graph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, coo_to_csr, validate_csr
+
+
+class TestCooToCsr:
+    def test_simple_conversion(self):
+        xadj, adj = coo_to_csr(3, np.array([0, 0, 1]), np.array([1, 2, 2]))
+        assert xadj.tolist() == [0, 2, 3, 3]
+        assert adj.tolist() == [1, 2, 2]
+
+    def test_empty(self):
+        xadj, adj = coo_to_csr(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert xadj.tolist() == [0, 0, 0, 0, 0]
+        assert adj.size == 0
+
+    def test_neighbors_sorted(self):
+        xadj, adj = coo_to_csr(3, np.array([0, 0, 0]), np.array([2, 1, 0]))
+        assert adj.tolist() == [0, 1, 2]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            coo_to_csr(2, np.array([0]), np.array([5]))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            coo_to_csr(3, np.array([0, 1]), np.array([1]))
+
+
+class TestValidateCsr:
+    def test_valid_passes(self):
+        validate_csr(np.array([0, 1, 2]), np.array([1, 0]), 2)
+
+    def test_bad_first_entry(self):
+        with pytest.raises(ValueError):
+            validate_csr(np.array([1, 1, 2]), np.array([1, 0]), 2)
+
+    def test_bad_last_entry(self):
+        with pytest.raises(ValueError):
+            validate_csr(np.array([0, 1, 3]), np.array([1, 0]), 2)
+
+    def test_decreasing_xadj(self):
+        with pytest.raises(ValueError):
+            validate_csr(np.array([0, 2, 1, 3]), np.array([1, 0, 2]), 3)
+
+    def test_adj_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_csr(np.array([0, 1, 2]), np.array([1, 7]), 2)
+
+
+class TestFromEdges:
+    def test_undirected_symmetry(self, tiny_graph):
+        for u in range(tiny_graph.num_vertices):
+            for v in tiny_graph.neighbors(u):
+                assert tiny_graph.has_edge(int(v), u)
+
+    def test_edge_counts(self, tiny_graph):
+        assert tiny_graph.num_undirected_edges == 6
+        assert tiny_graph.num_edges == 12
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1)])
+        assert g.num_undirected_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicates_removed(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_undirected_edges == 1
+
+    def test_directed_mode(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], undirected=False)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_empty_edge_list(self):
+        g = CSRGraph.from_edges(5, [])
+        assert g.num_edges == 0
+        assert g.num_vertices == 5
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(3, np.array([[0, 1, 2]]))
+
+
+class TestBasicAccessors:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.degrees.tolist() == [3, 2, 2, 2, 2, 1]
+
+    def test_degree_single(self, tiny_graph):
+        assert tiny_graph.degree(0) == 3
+        assert tiny_graph.degree(5) == 1
+
+    def test_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.neighbors(0).tolist()) == [1, 2, 3]
+        assert tiny_graph.neighbors(5).tolist() == [4]
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(1, 5)
+
+    def test_density(self, tiny_graph):
+        assert tiny_graph.density == pytest.approx(1.0)
+
+    def test_edge_array_roundtrip(self, tiny_graph):
+        arcs = tiny_graph.edge_array()
+        rebuilt = CSRGraph.from_edges(tiny_graph.num_vertices, arcs, undirected=False)
+        assert np.array_equal(rebuilt.xadj, tiny_graph.xadj)
+        assert np.array_equal(rebuilt.adj, tiny_graph.adj)
+
+    def test_undirected_edge_array(self, tiny_graph):
+        edges = tiny_graph.undirected_edge_array()
+        assert edges.shape == (6, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_len_and_iter(self, tiny_graph):
+        assert len(tiny_graph) == 6
+        assert list(tiny_graph) == list(range(6))
+
+    def test_nbytes_positive(self, tiny_graph):
+        assert tiny_graph.nbytes() > 0
+
+
+class TestTransformations:
+    def test_subgraph_preserves_internal_edges(self, tiny_graph):
+        sub, original_ids = tiny_graph.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert original_ids.tolist() == [0, 1, 2]
+        assert sub.num_undirected_edges == 3  # triangle 0-1, 0-2, 1-2
+
+    def test_subgraph_drops_external_edges(self, tiny_graph):
+        sub, _ = tiny_graph.subgraph([4, 5])
+        assert sub.num_undirected_edges == 1
+
+    def test_remove_isolated_vertices(self):
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        compact, old_ids = g.remove_isolated_vertices()
+        assert compact.num_vertices == 2
+        assert sorted(old_ids.tolist()) == [0, 1]
+
+    def test_relabel_is_isomorphic(self, tiny_graph):
+        perm = np.array([5, 4, 3, 2, 1, 0])
+        relabelled = tiny_graph.relabel(perm)
+        assert relabelled.num_undirected_edges == tiny_graph.num_undirected_edges
+        for u in range(6):
+            for v in tiny_graph.neighbors(u):
+                assert relabelled.has_edge(int(perm[u]), int(perm[int(v)]))
+
+    def test_relabel_bad_length(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.relabel(np.array([0, 1]))
+
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.adj[0] = 99 if clone.adj.size else 0
+        assert tiny_graph.adj[0] != 99
+
+    def test_empty_factory(self):
+        g = CSRGraph.empty(4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+        assert g.density == 0.0
+
+    def test_symmetrized(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], undirected=False)
+        sym = g.symmetrized()
+        assert sym.has_edge(1, 0)
+        assert sym.has_edge(2, 1)

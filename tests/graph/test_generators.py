@@ -1,0 +1,164 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    complete,
+    erdos_renyi,
+    grid_2d,
+    powerlaw_cluster,
+    ring,
+    rmat,
+    social_community,
+    star,
+    stochastic_block_model,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_mode(self):
+        g = erdos_renyi(50, m=100, seed=0)
+        assert g.num_vertices == 50
+        assert g.num_undirected_edges == 100
+
+    def test_probability_mode(self):
+        g = erdos_renyi(60, p=0.1, seed=1)
+        expected = 0.1 * 60 * 59 / 2
+        assert 0.3 * expected < g.num_undirected_edges < 2.0 * expected
+
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, p=0.1, m=5)
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi(40, m=60, seed=7)
+        b = erdos_renyi(40, m=60, seed=7)
+        assert np.array_equal(a.adj, b.adj)
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(30, m=80, seed=2)
+        for v in range(30):
+            assert v not in g.neighbors(v)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        g = barabasi_albert(200, m=3, seed=0)
+        assert g.num_vertices == 200
+        # every vertex added after the seed has at least m edges
+        assert np.all(g.degrees[3:] >= 3)
+
+    def test_degree_skew(self):
+        g = barabasi_albert(500, m=3, seed=0)
+        assert g.degrees.max() > 5 * np.median(g.degrees)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, m=5)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(8, edge_factor=8, seed=0)
+        assert g.num_vertices == 256
+        assert g.num_undirected_edges > 0
+
+    def test_skewed_degrees(self):
+        g = rmat(9, edge_factor=8, seed=0)
+        assert g.degrees.max() > 4 * max(np.median(g.degrees), 1)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.5, b=0.4, c=0.3)
+
+
+class TestStochasticBlockModel:
+    def test_blocks_denser_than_cross(self):
+        g = stochastic_block_model([100, 100], p_in=0.2, p_out=0.005, seed=0)
+        intra = sum(1 for u, v in g.undirected_edge_array() if (u < 100) == (v < 100))
+        inter = g.num_undirected_edges - intra
+        assert intra > 3 * inter
+
+    def test_vertex_count(self):
+        g = stochastic_block_model([30, 40, 50], p_in=0.2, p_out=0.01, seed=0)
+        assert g.num_vertices == 120
+
+    def test_zero_out_probability(self):
+        g = stochastic_block_model([50, 50], p_in=0.3, p_out=0.0, seed=0)
+        cross = [(u, v) for u, v in g.undirected_edge_array() if (u < 50) != (v < 50)]
+        assert not cross
+
+
+class TestWattsStrogatz:
+    def test_degree_regularity_without_rewiring(self):
+        g = watts_strogatz(100, k=6, beta=0.0, seed=0)
+        assert np.all(g.degrees == 6)
+
+    def test_odd_k_raises(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(50, k=5)
+
+    def test_rewiring_changes_edges(self):
+        a = watts_strogatz(100, k=6, beta=0.0, seed=0)
+        b = watts_strogatz(100, k=6, beta=0.9, seed=0)
+        assert not np.array_equal(a.adj, b.adj)
+
+
+class TestPowerlawCluster:
+    def test_size(self):
+        g = powerlaw_cluster(150, m=3, seed=0)
+        assert g.num_vertices == 150
+        assert np.all(g.degrees[3:] >= 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(3, m=5)
+
+
+class TestSocialCommunity:
+    def test_size_and_density(self):
+        g = social_community(400, intra_degree=8, seed=0)
+        assert g.num_vertices == 400
+        assert 2.0 < g.density < 20.0
+
+    def test_hubs_present(self):
+        g = social_community(600, intra_degree=6, hub_fraction=0.01, hub_reach=0.1, seed=0)
+        assert g.degrees.max() > 4 * np.median(g.degrees)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            social_community(10)
+
+    def test_deterministic(self):
+        a = social_community(300, seed=5)
+        b = social_community(300, seed=5)
+        assert np.array_equal(a.adj, b.adj)
+
+
+class TestSimpleTopologies:
+    def test_star(self):
+        g = star(10)
+        assert g.degree(0) == 9
+        assert np.all(g.degrees[1:] == 1)
+
+    def test_ring(self):
+        g = ring(12)
+        assert np.all(g.degrees == 2)
+        assert g.num_undirected_edges == 12
+
+    def test_complete(self):
+        g = complete(6)
+        assert g.num_undirected_edges == 15
+        assert np.all(g.degrees == 5)
+
+    def test_grid(self):
+        g = grid_2d(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_undirected_edges == 4 * 4 + 3 * 5

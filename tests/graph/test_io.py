@@ -1,0 +1,73 @@
+"""Unit tests for graph IO round-trips."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.graph import (
+    load_npz,
+    powerlaw_cluster,
+    read_edge_list,
+    read_metis,
+    save_npz,
+    write_edge_list,
+    write_metis,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip_via_file(self, tmp_path, tiny_graph):
+        path = tmp_path / "tiny.txt"
+        write_edge_list(tiny_graph, path)
+        loaded = read_edge_list(path, num_vertices=tiny_graph.num_vertices)
+        assert loaded.num_undirected_edges == tiny_graph.num_undirected_edges
+        for u, v in tiny_graph.undirected_edge_array():
+            assert loaded.has_edge(int(u), int(v))
+
+    def test_roundtrip_via_stream(self, tiny_graph):
+        buffer = io.StringIO()
+        write_edge_list(tiny_graph, buffer)
+        buffer.seek(0)
+        loaded = read_edge_list(buffer, num_vertices=tiny_graph.num_vertices)
+        assert loaded.num_undirected_edges == tiny_graph.num_undirected_edges
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = io.StringIO("# comment\n\n% another\n0 1\n1 2\n")
+        g = read_edge_list(text)
+        assert g.num_vertices == 3
+        assert g.num_undirected_edges == 2
+
+    def test_infers_vertex_count(self):
+        g = read_edge_list(io.StringIO("0 9\n"))
+        assert g.num_vertices == 10
+
+    def test_header_written(self, tmp_path, tiny_graph):
+        path = tmp_path / "h.txt"
+        write_edge_list(tiny_graph, path, header=True)
+        assert path.read_text().startswith("#")
+
+
+class TestNpzIO:
+    def test_roundtrip(self, tmp_path):
+        g = powerlaw_cluster(120, m=2, seed=3)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded.name == g.name
+        assert loaded.num_vertices == g.num_vertices
+        assert np.array_equal(loaded.xadj, g.xadj)
+        assert np.array_equal(loaded.adj, g.adj)
+        assert loaded.undirected == g.undirected
+
+
+class TestMetisIO:
+    def test_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "tiny.metis"
+        write_metis(tiny_graph, path)
+        loaded = read_metis(path)
+        assert loaded.num_vertices == tiny_graph.num_vertices
+        assert loaded.num_undirected_edges == tiny_graph.num_undirected_edges
+        for u, v in tiny_graph.undirected_edge_array():
+            assert loaded.has_edge(int(u), int(v))

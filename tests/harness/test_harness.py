@@ -1,0 +1,114 @@
+"""Tests for the dataset registry, table formatting, and experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ALL_DATASETS,
+    LARGE_DATASETS,
+    MEDIUM_DATASETS,
+    ExperimentRunner,
+    dataset_names,
+    default_tools,
+    format_table,
+    load_dataset,
+    paper_table2_rows,
+)
+
+
+class TestDatasetRegistry:
+    def test_all_twelve_paper_graphs_present(self):
+        assert len(MEDIUM_DATASETS) == 8
+        assert len(LARGE_DATASETS) == 4
+        assert len(ALL_DATASETS) == 12
+        names = dataset_names()
+        assert "com-orkut" in names and "com-friendster" in names
+
+    def test_scale_filter(self):
+        assert len(dataset_names(scale="medium")) == 8
+        assert len(dataset_names(scale="large")) == 4
+
+    def test_load_by_name(self):
+        g = load_dataset("com-dblp", seed=0)
+        assert g.name == "com-dblp"
+        assert g.num_vertices > 100
+        assert g.num_undirected_edges > g.num_vertices
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("com-myspace")
+
+    def test_twin_determinism(self):
+        a = load_dataset("youtube", seed=3)
+        b = load_dataset("youtube", seed=3)
+        assert np.array_equal(a.adj, b.adj)
+
+    def test_density_ordering_tracks_paper(self):
+        """Denser paper graphs get denser twins (relative ordering preserved)."""
+        dblp = load_dataset("com-dblp")
+        orkut = load_dataset("com-orkut")
+        assert orkut.density > dblp.density
+
+    def test_large_twins_bigger_than_medium(self):
+        medium = load_dataset("com-dblp")
+        large = load_dataset("com-friendster")
+        assert large.num_vertices > medium.num_vertices
+
+    def test_table2_rows(self):
+        rows = paper_table2_rows()
+        assert len(rows) == 12
+        assert {"Graph", "paper |V|", "twin |V|", "twin density"}.issubset(rows[0].keys())
+
+
+class TestTableFormatting:
+    def test_basic_rendering(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}]
+        out = format_table(rows, title="demo")
+        assert "demo" in out
+        assert "a" in out and "b" in out
+        assert "10" in out
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_column_selection(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in out
+        assert "a" not in out.splitlines()[0]
+
+
+class TestExperimentRunner:
+    def test_runs_selected_tools(self):
+        graph = load_dataset("com-amazon", seed=0)
+        tools = default_tools(dim=16, epoch_scale=0.02, seed=0)
+        runner = ExperimentRunner(tools=tools, baseline_tool="Verse", seed=0)
+        runs = runner.run_graph(graph, tools=["Verse", "Gosh-fast"])
+        assert len(runs) == 2
+        by_tool = {r.tool: r for r in runs}
+        assert by_tool["Verse"].error is None
+        assert by_tool["Gosh-fast"].error is None
+        assert 0.0 < by_tool["Gosh-fast"].auc <= 1.0
+        # speedups are relative to Verse
+        assert by_tool["Verse"].speedup_vs_baseline == pytest.approx(1.0)
+        assert by_tool["Gosh-fast"].speedup_vs_baseline > 1.0
+
+    def test_rows_format(self):
+        graph = load_dataset("com-amazon", seed=0)
+        tools = default_tools(dim=16, epoch_scale=0.02, seed=0)
+        runner = ExperimentRunner(tools=tools, seed=0)
+        runner.run_graph(graph, tools=["Verse"])
+        rows = runner.rows()
+        assert rows and {"Graph", "Algorithm", "Time (s)", "AUCROC (%)"}.issubset(rows[0])
+
+    def test_device_memory_error_reported_as_row(self):
+        from repro.gpu import DeviceSpec, SimulatedDevice
+
+        graph = load_dataset("com-amazon", seed=0)
+        tiny = SimulatedDevice(spec=DeviceSpec(name="tiny", memory_bytes=4 * 1024))
+        tools = default_tools(dim=16, epoch_scale=0.02, device=tiny, seed=0)
+        runner = ExperimentRunner(tools=tools, seed=0)
+        runs = runner.run_graph(graph, tools=["Graphvite"])
+        assert runs[0].error is not None
+        assert runs[0].auc is None

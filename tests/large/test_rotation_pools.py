@@ -1,0 +1,175 @@
+"""Unit tests for rotation order, sample pools, and GPUState."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import contiguous_partition, social_community
+from repro.gpu import DeviceMemoryError, DeviceSpec, SimulatedDevice
+from repro.large import (
+    GPUState,
+    SamplePoolManager,
+    count_switches,
+    inside_out_order,
+    naive_order,
+    validate_rotation_cover,
+)
+
+
+class TestInsideOutOrder:
+    def test_matches_paper_prefix(self):
+        # (0,0), (1,0), (1,1), (2,0), (2,1), (2,2), ...
+        order = inside_out_order(3)
+        assert order == [(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_covers_every_pair_once(self, k):
+        order = inside_out_order(k)
+        assert len(order) == k * (k + 1) // 2
+        assert validate_rotation_cover(order, k)
+
+    def test_consecutive_pairs_share_a_part(self):
+        # Except when the previous pair was a diagonal (a, a) — the paper's
+        # recurrence then restarts at (a + 1, 0) — consecutive pairs keep one
+        # part resident, which is what makes the order cheap to stream.
+        order = inside_out_order(6)
+        for (a1, b1), (a2, b2) in zip(order, order[1:]):
+            if a1 == b1:
+                continue
+            assert {a1, b1} & {a2, b2}, "inside-out order must reuse a resident part"
+
+    def test_invalid_num_parts(self):
+        with pytest.raises(ValueError):
+            inside_out_order(0)
+
+    def test_fewer_switches_than_naive(self):
+        k = 8
+        inside = count_switches(inside_out_order(k), resident_slots=3)
+        naive = count_switches(naive_order(k), resident_slots=3)
+        assert inside <= naive
+
+    def test_count_switches_requires_two_slots(self):
+        with pytest.raises(ValueError):
+            count_switches(inside_out_order(3), resident_slots=1)
+
+    def test_validate_rejects_duplicates(self):
+        assert not validate_rotation_cover([(0, 0), (0, 0)], 1)
+        assert not validate_rotation_cover([(0, 0)], 2)
+
+
+class TestSamplePoolManager:
+    @pytest.fixture
+    def setup(self):
+        graph = social_community(200, intra_degree=6, seed=0)
+        partition = contiguous_partition(graph.num_vertices, 4)
+        manager = SamplePoolManager(graph=graph, partition=partition,
+                                    batch_per_vertex=3, max_resident_pools=2, seed=0)
+        return graph, partition, manager
+
+    def test_pool_samples_cross_correct_parts(self, setup):
+        graph, partition, manager = setup
+        pool = manager.build_pool(1, 0)
+        assert pool.num_samples > 0
+        for s, d in zip(pool.src, pool.dst):
+            assert graph.has_edge(int(s), int(d))
+            parts = {int(partition.part_of[s]), int(partition.part_of[d])}
+            assert parts.issubset({0, 1})
+
+    def test_self_pair_pool(self, setup):
+        graph, partition, manager = setup
+        pool = manager.build_pool(2, 2)
+        for s, d in zip(pool.src, pool.dst):
+            assert partition.part_of[s] == 2
+            assert partition.part_of[d] == 2
+
+    def test_batch_per_vertex_cap(self, setup):
+        graph, partition, manager = setup
+        pool = manager.build_pool(1, 0)
+        counts = np.bincount(pool.src, minlength=graph.num_vertices)
+        assert counts.max() <= manager.batch_per_vertex
+
+    def test_prefetch_respects_buffer_limit(self, setup):
+        _, _, manager = setup
+        manager.prefetch([(1, 0), (2, 0), (3, 0), (2, 1)])
+        assert manager.resident_pools <= manager.max_resident_pools
+
+    def test_acquire_consumes_buffered_pool(self, setup):
+        _, _, manager = setup
+        manager.prefetch([(1, 0)])
+        produced_before = manager.pools_produced
+        pool = manager.acquire(1, 0)
+        assert pool.part_a == 1 and pool.part_b == 0
+        assert manager.pools_produced == produced_before  # reused the buffered one
+        assert manager.pools_consumed == 1
+        assert manager.resident_pools == 0
+
+    def test_acquire_builds_on_miss(self, setup):
+        _, _, manager = setup
+        manager.acquire(3, 2)
+        assert manager.pools_produced == 1
+        assert manager.stats()["pools_consumed"] == 1
+
+
+class TestGPUState:
+    @pytest.fixture
+    def state(self):
+        rng = np.random.default_rng(0)
+        embedding = rng.random((100, 8)).astype(np.float32)
+        partition = contiguous_partition(100, 5)
+        device = SimulatedDevice(spec=DeviceSpec(name="small", memory_bytes=100 * 8 * 4))
+        return embedding, partition, GPUState(embedding=embedding, parts=partition.parts,
+                                              device=device, num_bins=3)
+
+    def test_load_and_residency(self, state):
+        _, _, gpu = state
+        gpu.load(0)
+        gpu.load(1)
+        assert gpu.is_resident(0) and gpu.is_resident(1)
+        assert gpu.switches == 2
+
+    def test_submatrix_contents(self, state):
+        embedding, partition, gpu = state
+        gpu.load(2)
+        assert np.allclose(gpu.submatrix(2), embedding[partition.parts[2]])
+
+    def test_eviction_writes_back(self, state):
+        embedding, partition, gpu = state
+        gpu.load(0)
+        gpu.submatrix(0)[:] = 7.0
+        gpu.evict_part(0)
+        assert np.all(embedding[partition.parts[0]] == 7.0)
+        assert not gpu.is_resident(0)
+
+    def test_ensure_pair_evicts_unneeded(self, state):
+        _, _, gpu = state
+        gpu.ensure_pair(0, 1)
+        gpu.ensure_pair(2, 3, upcoming=[(4, 3)])
+        assert gpu.is_resident(2) and gpu.is_resident(3)
+        assert len(gpu.resident_parts) <= 3
+
+    def test_flush_writes_everything_back(self, state):
+        embedding, partition, gpu = state
+        gpu.ensure_pair(0, 1)
+        gpu.submatrix(0)[:] = 3.0
+        gpu.submatrix(1)[:] = 4.0
+        gpu.flush()
+        assert np.all(embedding[partition.parts[0]] == 3.0)
+        assert np.all(embedding[partition.parts[1]] == 4.0)
+        assert not gpu.resident_parts
+
+    def test_requires_two_bins(self, state):
+        embedding, partition, _ = state
+        with pytest.raises(ValueError):
+            GPUState(embedding=embedding, parts=partition.parts,
+                     device=SimulatedDevice(), num_bins=1)
+
+    def test_memory_pressure_raises(self):
+        # Device can hold only one sub-matrix: loading a pair must fail.
+        embedding = np.zeros((100, 8), dtype=np.float32)
+        partition = contiguous_partition(100, 2)
+        device = SimulatedDevice(spec=DeviceSpec(name="nano", memory_bytes=50 * 8 * 4))
+        gpu = GPUState(embedding=embedding, parts=partition.parts, device=device, num_bins=2)
+        gpu.load(0)
+        with pytest.raises(DeviceMemoryError):
+            gpu.load(1)

@@ -1,0 +1,101 @@
+"""Tests for the large-graph trainer (Algorithm 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import init_embedding
+from repro.gpu import DeviceSpec, SimulatedDevice
+from repro.graph import social_community
+from repro.large import LargeGraphConfig, LargeGraphTrainer, train_large_graph
+
+
+def tiny_device(kilobytes: int) -> SimulatedDevice:
+    return SimulatedDevice(spec=DeviceSpec(name=f"{kilobytes}kB", memory_bytes=kilobytes * 1024))
+
+
+class TestLargeGraphTrainer:
+    @pytest.fixture
+    def graph(self):
+        return social_community(400, intra_degree=8, seed=1)
+
+    def test_partitioned_training_runs(self, graph):
+        # 400 x 16 x 4 bytes = 25.6 KB; an 16 KB device forces partitioning.
+        device = tiny_device(16)
+        emb = init_embedding(graph.num_vertices, 16, 0)
+        stats = train_large_graph(graph, emb, epochs=20, device=device,
+                                  config=LargeGraphConfig(seed=0))
+        assert stats.num_parts >= 2
+        assert stats.kernels == stats.rotations * stats.num_parts * (stats.num_parts + 1) // 2
+        assert stats.positive_samples > 0
+        assert stats.submatrix_switches >= stats.num_parts
+
+    def test_embedding_actually_trains(self, graph):
+        device = tiny_device(16)
+        emb = init_embedding(graph.num_vertices, 16, 0)
+        before = emb.copy()
+        train_large_graph(graph, emb, epochs=20, device=device,
+                          config=LargeGraphConfig(seed=0))
+        assert not np.array_equal(emb, before)
+        # positive (train) edges should score above random pairs on average
+        edges = graph.undirected_edge_array()
+        rng = np.random.default_rng(0)
+        rand_u = rng.integers(0, graph.num_vertices, edges.shape[0])
+        rand_v = rng.integers(0, graph.num_vertices, edges.shape[0])
+        pos = np.einsum("ij,ij->i", emb[edges[:, 0]], emb[edges[:, 1]]).mean()
+        rnd = np.einsum("ij,ij->i", emb[rand_u], emb[rand_v]).mean()
+        assert pos > rnd
+
+    def test_device_memory_respected(self, graph):
+        device = tiny_device(16)
+        emb = init_embedding(graph.num_vertices, 16, 0)
+        train_large_graph(graph, emb, epochs=10, device=device)
+        assert device.peak_allocated_bytes <= device.spec.memory_bytes
+
+    def test_rotations_scale_with_epochs(self, graph):
+        device = tiny_device(16)
+        cfg = LargeGraphConfig(positive_batch_per_vertex=5, seed=0)
+        emb = init_embedding(graph.num_vertices, 16, 0)
+        few = LargeGraphTrainer(device, cfg).train(graph, emb.copy(), epochs=10)
+        device.reset()
+        many = LargeGraphTrainer(device, cfg).train(graph, emb.copy(), epochs=200)
+        assert many.rotations > few.rotations
+
+    def test_min_parts_override(self, graph):
+        device = SimulatedDevice()  # plenty of memory
+        cfg = LargeGraphConfig(min_parts=4, seed=0)
+        emb = init_embedding(graph.num_vertices, 8, 0)
+        stats = LargeGraphTrainer(device, cfg).train(graph, emb, epochs=10)
+        assert stats.num_parts >= 4
+
+    def test_shape_mismatch_raises(self, graph):
+        device = tiny_device(16)
+        with pytest.raises(ValueError):
+            train_large_graph(graph, np.zeros((3, 8), dtype=np.float32), 5, device)
+
+    def test_equivalent_quality_to_in_memory(self):
+        """Partitioned training must not be dramatically worse than in-memory."""
+        graph = social_community(300, intra_degree=8, seed=2)
+        dim, epochs = 16, 40
+
+        emb_mem = init_embedding(graph.num_vertices, dim, 0)
+        from repro.embedding import LevelTrainer
+
+        LevelTrainer(negative_samples=3, learning_rate=0.05, seed=0).train(graph, emb_mem, epochs)
+
+        emb_part = init_embedding(graph.num_vertices, dim, 0)
+        train_large_graph(graph, emb_part, epochs, tiny_device(8),
+                          config=LargeGraphConfig(learning_rate=0.05, seed=0))
+
+        def edge_separation(emb):
+            edges = graph.undirected_edge_array()
+            rng = np.random.default_rng(0)
+            ru = rng.integers(0, graph.num_vertices, edges.shape[0])
+            rv = rng.integers(0, graph.num_vertices, edges.shape[0])
+            pos = np.einsum("ij,ij->i", emb[edges[:, 0]], emb[edges[:, 1]]).mean()
+            rnd = np.einsum("ij,ij->i", emb[ru], emb[rv]).mean()
+            return pos - rnd
+
+        assert edge_separation(emb_part) > 0
+        assert edge_separation(emb_part) > 0.2 * edge_separation(emb_mem)

@@ -1,0 +1,98 @@
+"""Property-based tests for coarsening invariants (Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.coarsening import (
+    CoarseningHierarchy,
+    coarsen_graph,
+    collapse_once,
+    multi_edge_collapse,
+    parallel_collapse_once,
+    parallel_multi_edge_collapse,
+)
+from repro.graph import CSRGraph
+
+
+@st.composite
+def random_graphs(draw, min_vertices=5, max_vertices=60):
+    n = draw(st.integers(min_vertices, max_vertices))
+    m = draw(st.integers(n, 4 * n))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return CSRGraph.from_edges(n, np.column_stack([src, dst]), name=f"rand{seed}")
+
+
+class TestCollapseInvariants:
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_every_vertex_assigned_sequential(self, graph):
+        mapping, k = collapse_once(graph)
+        assert np.all(mapping >= 0)
+        assert np.all(mapping < k)
+        assert k >= 1
+
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_every_vertex_assigned_parallel(self, graph):
+        mapping, k = parallel_collapse_once(graph)
+        assert np.all(mapping >= 0)
+        assert np.all(mapping < k)
+        # every cluster id in range is used (compaction invariant)
+        assert set(np.unique(mapping).tolist()) == set(range(k))
+
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_never_grows(self, graph):
+        _, k_seq = collapse_once(graph)
+        _, k_par = parallel_collapse_once(graph)
+        assert k_seq <= graph.num_vertices
+        assert k_par <= graph.num_vertices
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_coarse_graph_edge_projection_sound(self, graph):
+        mapping, k = collapse_once(graph)
+        coarse = coarsen_graph(graph, mapping, k)
+        assert coarse.num_vertices == k
+        # no self loops and every coarse arc maps back to >= 1 fine arc
+        arcs = coarse.edge_array()
+        if arcs.size:
+            assert np.all(arcs[:, 0] != arcs[:, 1])
+        fine_arcs = graph.edge_array()
+        coarse_pairs = {(int(mapping[u]), int(mapping[v])) for u, v in fine_arcs
+                        if mapping[u] != mapping[v]}
+        for cu, cv in arcs:
+            assert (int(cu), int(cv)) in coarse_pairs
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_multilevel_hierarchy_is_valid(self, graph):
+        result = multi_edge_collapse(graph, threshold=5, max_levels=10)
+        hierarchy = CoarseningHierarchy.from_result(result)
+        hierarchy.validate()
+        sizes = result.level_sizes
+        assert all(sizes[i] > sizes[i + 1] for i in range(len(sizes) - 1))
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_multilevel_hierarchy_is_valid(self, graph):
+        result = parallel_multi_edge_collapse(graph, threshold=5, max_levels=10)
+        CoarseningHierarchy.from_result(result).validate()
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_preserves_rows(self, graph):
+        result = parallel_multi_edge_collapse(graph, threshold=5, max_levels=10)
+        hierarchy = CoarseningHierarchy.from_result(result)
+        rng = np.random.default_rng(0)
+        emb = rng.random((hierarchy.coarsest().num_vertices, 4))
+        full = hierarchy.project_to_original(hierarchy.num_levels - 1, emb)
+        assert full.shape == (graph.num_vertices, 4)
+        # every fine row equals its super vertex's row
+        composed = hierarchy.composed_mapping(hierarchy.num_levels - 1)
+        assert np.allclose(full, emb[composed])

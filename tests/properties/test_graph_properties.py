@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CSRGraph, coo_to_csr, contiguous_partition, validate_csr
+from repro.graph.samplers import AliasTable
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m, max_size=m,
+        )
+    )
+    return n, edges
+
+
+class TestCSRProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_from_edges_always_valid_csr(self, data):
+        n, edges = data
+        g = CSRGraph.from_edges(n, edges)
+        validate_csr(g.xadj, g.adj, n)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_undirected_symmetry_invariant(self, data):
+        n, edges = data
+        g = CSRGraph.from_edges(n, edges, undirected=True)
+        arcs = g.edge_array()
+        for u, v in arcs:
+            assert g.has_edge(int(v), int(u))
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_equals_arc_count(self, data):
+        n, edges = data
+        g = CSRGraph.from_edges(n, edges)
+        assert int(g.degrees.sum()) == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_array_round_trip(self, data):
+        n, edges = data
+        g = CSRGraph.from_edges(n, edges)
+        rebuilt = CSRGraph.from_edges(n, g.edge_array(), undirected=False)
+        assert np.array_equal(rebuilt.xadj, g.xadj)
+        assert np.array_equal(rebuilt.adj, g.adj)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_no_self_loops_after_construction(self, data):
+        n, edges = data
+        g = CSRGraph.from_edges(n, edges, drop_self_loops=True)
+        arcs = g.edge_array()
+        if arcs.size:
+            assert np.all(arcs[:, 0] != arcs[:, 1])
+
+    @given(
+        st.integers(min_value=2, max_value=500),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coo_to_csr_preserves_arc_count(self, n, m):
+        rng = np.random.default_rng(m)
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        xadj, adj = coo_to_csr(n, src, dst)
+        assert xadj[-1] == m
+        assert adj.shape[0] == m
+
+
+class TestPartitionProperties:
+    @given(st.integers(1, 2000), st.integers(1, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_contiguous_partition_covers_exactly_once(self, n, k):
+        p = contiguous_partition(n, k)
+        p.validate()
+        assert sum(len(part) for part in p.parts) == n
+        sizes = p.part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestAliasTableProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_alias_table_empirical_distribution(self, weights):
+        weights = np.asarray(weights)
+        table = AliasTable.from_weights(weights)
+        rng = np.random.default_rng(0)
+        samples = table.sample(20_000, rng)
+        assert samples.min() >= 0 and samples.max() < weights.shape[0]
+        # the most-weighted item must be sampled at least as often as the least
+        counts = np.bincount(samples, minlength=weights.shape[0])
+        if weights.shape[0] >= 2 and weights.max() > 5 * weights.min():
+            assert counts[int(np.argmax(weights))] >= counts[int(np.argmin(weights))]

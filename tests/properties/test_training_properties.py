@@ -1,0 +1,97 @@
+"""Property-based tests for epoch distribution, kernels, metrics, and rotations."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.embedding import distribute_epochs, per_epoch_learning_rate
+from repro.eval.metrics import auc_roc
+from repro.gpu import sigmoid, update_embedding_pair
+from repro.large import inside_out_order, validate_rotation_cover
+
+
+class TestEpochDistributionProperties:
+    @given(st.integers(1, 5000), st.integers(1, 16), st.floats(0.0, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_sum_and_nonnegativity(self, total, levels, p):
+        epochs = distribute_epochs(total, levels, p)
+        assert sum(epochs) == total
+        assert all(e >= 0 for e in epochs)
+        assert len(epochs) == levels
+
+    @given(st.integers(16, 5000), st.integers(2, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_geometric_part_weights_coarse_levels(self, total, levels):
+        epochs = distribute_epochs(total, levels, 0.0)
+        # coarsest gets the most
+        assert epochs[-1] == max(epochs)
+
+    @given(st.floats(1e-4, 1.0), st.integers(0, 2000), st.integers(1, 2000))
+    @settings(max_examples=100, deadline=None)
+    def test_learning_rate_bounded(self, lr, epoch, level_epochs):
+        value = per_epoch_learning_rate(lr, epoch, level_epochs)
+        assert 0 < value <= lr + 1e-12
+
+
+class TestUpdateRuleProperties:
+    @given(
+        st.integers(2, 32),
+        st.floats(0.001, 0.5),
+        st.booleans(),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_update_moves_dot_toward_label(self, dim, lr, positive, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.normal(scale=0.3, size=dim)
+        s = rng.normal(scale=0.3, size=dim)
+        before = float(v @ s)
+        new_v, new_s = update_embedding_pair(v, s, positive, lr)
+        after = float(new_v @ new_s)
+        if positive:
+            assert after >= before - 1e-9
+        else:
+            # negative updates push the pair apart unless already far apart
+            assert after <= before + max(1e-9, abs(before) * lr)
+
+    @given(st.floats(-30, 30))
+    @settings(max_examples=100, deadline=None)
+    def test_sigmoid_bounds_and_symmetry(self, x):
+        y = float(sigmoid(x))
+        assert 0.0 <= y <= 1.0
+        assert abs(y + float(sigmoid(-x)) - 1.0) < 1e-9
+
+
+class TestAUCProperties:
+    @given(st.integers(2, 300), st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_auc_invariant_to_monotone_transform(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, n)
+        labels[0], labels[1] = 0, 1  # ensure both classes
+        scores = rng.normal(size=n)
+        a = auc_roc(labels, scores)
+        b = auc_roc(labels, 5 * scores + 2)
+        c = auc_roc(labels, np.tanh(scores))
+        assert abs(a - b) < 1e-9
+        assert abs(a - c) < 1e-9
+        assert 0.0 <= a <= 1.0
+
+    @given(st.integers(2, 300), st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_auc_complement_when_scores_negated(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, n)
+        labels[0], labels[1] = 0, 1
+        scores = rng.normal(size=n)
+        assert abs(auc_roc(labels, scores) + auc_roc(labels, -scores) - 1.0) < 1e-9
+
+
+class TestRotationProperties:
+    @given(st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_inside_out_is_a_complete_cover(self, k):
+        order = inside_out_order(k)
+        assert validate_rotation_cover(order, k)
+        assert len(order) == k * (k + 1) // 2

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import write_edge_list
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_embed_defaults(self):
+        args = build_parser().parse_args(["embed", "com-dblp"])
+        assert args.config == "normal"
+        assert args.dim == 128
+        assert args.output == "embedding.npy"
+
+    def test_coarsen_flags(self):
+        args = build_parser().parse_args(["coarsen", "com-dblp", "--parallel", "--threshold", "50"])
+        assert args.parallel is True
+        assert args.threshold == 50
+
+
+class TestCommands:
+    def test_datasets_lists_twins(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "com-dblp" in out and "com-friendster" in out
+
+    def test_datasets_scale_filter(self, capsys):
+        assert main(["datasets", "--scale", "large"]) == 0
+        out = capsys.readouterr().out
+        assert "com-friendster" in out
+        assert "com-dblp" not in out
+
+    def test_coarsen_named_dataset(self, capsys):
+        assert main(["coarsen", "com-amazon", "--parallel"]) == 0
+        out = capsys.readouterr().out
+        assert "MultiEdgeCollapse" in out
+        assert "mean shrink rate" in out
+
+    def test_embed_writes_npy(self, tmp_path, capsys):
+        out_path = tmp_path / "emb.npy"
+        code = main(["embed", "com-amazon", "--config", "fast", "--dim", "16",
+                     "--epoch-scale", "0.02", "-o", str(out_path)])
+        assert code == 0
+        emb = np.load(out_path)
+        assert emb.ndim == 2 and emb.shape[1] == 16
+        assert "embedding saved" in capsys.readouterr().out
+
+    def test_embed_from_edge_list_file(self, tmp_path, small_power_graph, capsys):
+        edge_file = tmp_path / "graph.txt"
+        write_edge_list(small_power_graph, edge_file)
+        out_path = tmp_path / "emb.npy"
+        code = main(["embed", str(edge_file), "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "-o", str(out_path)])
+        assert code == 0
+        assert np.load(out_path).shape[0] == small_power_graph.num_vertices
+
+    def test_evaluate_prints_auc(self, capsys):
+        code = main(["evaluate", "com-amazon", "--config", "fast", "--dim", "16",
+                     "--epoch-scale", "0.05"])
+        assert code == 0
+        assert "AUCROC" in capsys.readouterr().out
+
+    def test_unknown_graph_errors(self):
+        with pytest.raises(SystemExit):
+            main(["coarsen", "no-such-graph-or-file"])
