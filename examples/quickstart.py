@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quickstart: embed a graph with GOSH and evaluate link prediction.
+"""Quickstart: embed a graph through the unified tool API and evaluate it.
 
 Runs in a few seconds on a laptop:
 
@@ -8,7 +8,7 @@ Runs in a few seconds on a laptop:
 
 from __future__ import annotations
 
-from repro.embedding import FAST, NORMAL, embed
+from repro.api import EmbeddingService, available_tools, get_tool
 from repro.eval import run_link_prediction
 from repro.graph import social_community
 
@@ -19,35 +19,35 @@ def main() -> None:
     #    use `repro.graph.read_edge_list("my_graph.txt")`.
     graph = social_community(1500, intra_degree=10, hub_fraction=0.01, seed=42)
     print(f"Input graph: {graph}")
+    print(f"Registered tools: {', '.join(available_tools())}")
 
-    # 2. Pick a configuration (Table 3 of the paper) and embed.  `.scaled()`
-    #    shrinks the epoch budget proportionally for small graphs; `dim` is
-    #    the embedding dimension d.
-    config = NORMAL.scaled(0.3, dim=64)
-    result = embed(graph, config)
-    print(f"Coarsening levels: {result.hierarchy.level_sizes()}")
-    print(f"Epochs per level:  {result.epochs_per_level}")
+    # 2. Resolve a tool from the registry and embed.  Every backend returns
+    #    the same `EmbeddingResult` envelope: the matrix plus per-stage
+    #    timings and stats.  `epoch_scale` shrinks the epoch budget
+    #    proportionally for small graphs; `dim` is the embedding dimension d.
+    tool = get_tool("gosh-normal", dim=64, epoch_scale=0.3)
+    result = tool.embed(graph)
+    print(f"Coarsening levels: {result.stats['level_sizes']}")
+    print(f"Epochs per level:  {result.stats['epochs_per_level']}")
     print(f"Embedding shape:   {result.embedding.shape}")
-    print(f"Total time:        {result.total_seconds:.2f}s "
-          f"(coarsening {result.coarsening_seconds:.2f}s)")
+    print(f"Total time:        {result.seconds:.2f}s "
+          f"(coarsening {result.timings['coarsening']:.2f}s)")
 
     # 3. Evaluate with the paper's link-prediction pipeline (80/20 split,
-    #    Hadamard features, logistic regression, AUCROC).
-    evaluation = run_link_prediction(
-        graph,
-        lambda train_graph: embed(train_graph, config).embedding,
-        seed=0,
-    )
+    #    Hadamard features, logistic regression, AUCROC).  The pipeline
+    #    accepts the tool directly — no wrapper lambda needed.
+    evaluation = run_link_prediction(graph, tool, seed=0)
     print(f"Link-prediction AUCROC: {100 * evaluation.auc:.2f}%")
 
-    # 4. The fast configuration trades a little quality for a lot of speed.
-    fast_eval = run_link_prediction(
-        graph,
-        lambda train_graph: embed(train_graph, FAST.scaled(0.3, dim=64)).embedding,
-        seed=0,
-    )
-    print(f"Gosh-fast AUCROC:       {100 * fast_eval.auc:.2f}% "
-          f"({fast_eval.embed_seconds:.2f}s vs {evaluation.embed_seconds:.2f}s)")
+    # 4. The serving layer: the `EmbeddingService` resolves tools by name and
+    #    caches coarsening hierarchies, so sweeping GOSH configurations over
+    #    the same graph coarsens it exactly once.
+    service = EmbeddingService(dim=64, epoch_scale=0.3)
+    fast = service.embed("gosh-fast", graph)       # builds the hierarchy
+    slow = service.embed("gosh-slow", graph)       # reuses it
+    print(f"Gosh-fast: {fast.seconds:.2f}s, Gosh-slow: {slow.seconds:.2f}s "
+          f"(hierarchy cache hit: {slow.stats['hierarchy_cache_hit']})")
+    print(f"Service stats: {service.stats()}")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Compare GOSH against the reimplemented baselines on one graph (mini Table 6).
 
-Runs VERSE, MILE, the GraphVite-like trainer, and the four GOSH
-configurations on a single synthetic twin, evaluates link prediction for
-each, and prints the paper's table format (Algorithm, Time, Speedup vs VERSE,
-AUCROC).
+Runs every tool in the `repro.api` registry — VERSE, MILE, the GraphVite-like
+trainer, and the four GOSH configurations — on a single synthetic twin,
+evaluates link prediction for each, and prints the paper's table format
+(Algorithm, Time, Speedup vs VERSE, AUCROC).
 
     python examples/tool_comparison.py [dataset-name]
 """
@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import available_tools
 from repro.harness import ExperimentRunner, dataset_names, default_tools, load_dataset, print_table
 
 
@@ -22,7 +23,10 @@ def main() -> None:
         raise SystemExit(f"unknown dataset {name!r}; options: {', '.join(dataset_names())}")
     graph = load_dataset(name, seed=0)
     print(f"Dataset twin: {graph}")
+    print(f"Tool suite (from the registry): {', '.join(available_tools())}")
 
+    # `default_tools` is a pure registry query: every registered tool,
+    # instantiated with a shared dim / epoch budget so comparisons are fair.
     runner = ExperimentRunner(
         tools=default_tools(dim=32, epoch_scale=0.2, seed=0),
         baseline_tool="Verse",

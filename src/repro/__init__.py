@@ -17,25 +17,38 @@ The package is organised around the paper's own structure:
 * :mod:`repro.eval` — the link-prediction pipeline, logistic-regression
   classifiers, and AUCROC.
 * :mod:`repro.baselines` — VERSE, MILE and GraphVite-like comparators.
+* :mod:`repro.api` — the unified tool layer: the ``EmbeddingTool`` protocol,
+  the canonical ``EmbeddingResult``, the global tool registry, and the
+  serving-oriented ``EmbeddingService`` facade.
 * :mod:`repro.harness` — dataset registry (Table 2 twins), experiment
-  runner, and table formatting used by the benchmarks.
+  runner (registry-backed), and table formatting used by the benchmarks.
 
-Quickstart::
+Quickstart — every backend behind one interface::
 
-    from repro import graph, embedding
+    from repro import api, graph
 
     g = graph.powerlaw_cluster(2000, m=3, seed=1)
-    result = embedding.embed(g, embedding.FAST.scaled(0.05, dim=32))
-    print(result.embedding.shape)
+
+    # One-off: resolve a tool from the registry and embed.
+    result = api.get_tool("gosh-normal", dim=32, epoch_scale=0.05).embed(g)
+    print(result.embedding.shape, result.timings)
+
+    # Serving: the service shares coarsening hierarchies across GOSH runs.
+    service = api.EmbeddingService(dim=32, epoch_scale=0.05)
+    for tool in ("gosh-fast", "gosh-normal", "gosh-slow"):
+        print(tool, service.embed(tool, g).seconds)   # coarsens only once
+    print(api.available_tools())
 """
 
-from . import baselines, coarsening, embedding, eval, gpu, graph, harness, large
+from . import api, baselines, coarsening, embedding, eval, gpu, graph, harness, large
+from .api import EmbeddingResult, EmbeddingService, available_tools, get_tool
 from .embedding import FAST, NO_COARSE, NORMAL, SLOW, GoshConfig, GoshEmbedder, GoshResult, embed
 from .graph import CSRGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "baselines",
     "coarsening",
     "embedding",
@@ -44,6 +57,10 @@ __all__ = [
     "graph",
     "harness",
     "large",
+    "EmbeddingResult",
+    "EmbeddingService",
+    "available_tools",
+    "get_tool",
     "FAST",
     "NO_COARSE",
     "NORMAL",

@@ -1,0 +1,85 @@
+"""Coarsening-hierarchy cache shared by GOSH tools and the service layer.
+
+Stage 1 of Algorithm 2 (MultiEdgeCollapse) depends only on the graph and the
+coarsening knobs — not on the training configuration — so repeated GOSH runs
+on the same graph (e.g. the fast/normal/slow sweep of Table 6, or repeated
+serving requests) can reuse one hierarchy.  The cache keys on the graph's
+content :meth:`~repro.graph.csr.CSRGraph.fingerprint` plus every config field
+that influences coarsening, and evicts least-recently-used entries beyond
+``max_entries`` (hierarchies hold every level's CSR arrays, so the cache is
+deliberately small).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
+
+from ..coarsening.hierarchy import CoarseningHierarchy
+from ..embedding.config import GoshConfig
+from ..graph.csr import CSRGraph
+
+__all__ = ["HierarchyCache", "hierarchy_cache_key"]
+
+#: (graph fingerprint, threshold, max levels, use_coarsening, parallel)
+CacheKey = tuple[str, int, int, bool, bool]
+
+
+def hierarchy_cache_key(graph: CSRGraph, config: GoshConfig) -> CacheKey:
+    """The coarsening-relevant identity of a (graph, config) pair."""
+    return (
+        graph.fingerprint(),
+        config.coarsening_threshold,
+        config.max_coarsening_levels,
+        config.use_coarsening,
+        config.use_parallel_coarsening,
+    )
+
+
+@dataclass
+class HierarchyCache:
+    """LRU cache of coarsening hierarchies keyed by (graph, coarsening knobs)."""
+
+    max_entries: int = 8
+    hits: int = 0
+    misses: int = 0
+    _entries: "OrderedDict[CacheKey, CoarseningHierarchy]" = field(default_factory=OrderedDict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_build(
+        self,
+        graph: CSRGraph,
+        config: GoshConfig,
+        builder: Callable[[], tuple[CoarseningHierarchy, float]],
+    ) -> tuple[CoarseningHierarchy, float, bool]:
+        """Return ``(hierarchy, build_seconds, cache_hit)``.
+
+        On a miss, ``builder`` (typically ``GoshEmbedder.coarsen``) runs and
+        its result is stored; on a hit the stored hierarchy is returned with
+        the (near-zero) lookup time.
+        """
+        key = hierarchy_cache_key(graph, config)
+        t0 = perf_counter()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached, perf_counter() - t0, True
+        self.misses += 1
+        hierarchy, build_seconds = builder()
+        self._entries[key] = hierarchy
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return hierarchy, build_seconds, False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,102 @@
+"""The :class:`EmbeddingTool` protocol and structured progress events.
+
+Every embedding backend — GOSH in its Table 3 configurations, VERSE, MILE,
+the GraphVite-like trainer, and any future tool — is exposed through one
+interface so the harness, the CLI, the evaluation pipeline, and the
+:class:`~repro.api.service.EmbeddingService` never special-case a backend:
+
+* ``name`` / ``display_name`` — registry key and paper-table label.
+* ``describe()`` — a one-line human description for ``repro-gosh tools``.
+* ``prepare(graph)`` — optional warm-up (e.g. pre-building a coarsening
+  hierarchy); tools without a preparation stage make it a no-op.
+* ``embed(graph, *, device, seed, progress)`` — run the backend and return a
+  canonical :class:`~repro.api.result.EmbeddingResult`.
+
+Tools are also plain callables (``tool(graph) -> np.ndarray``) so existing
+code written against the bare-callable embedder convention keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .result import EmbeddingResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..gpu.device import SimulatedDevice
+
+__all__ = ["EmbeddingTool", "ProgressEvent", "ProgressCallback", "as_embedder"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress report emitted during an ``embed`` call."""
+
+    tool: str
+    stage: str            # "prepare" | "coarsen" | "train" | "done" | ...
+    graph: str
+    detail: dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.tool}] {self.stage} on {self.graph}" + (f" ({extras})" if extras else "")
+
+
+#: Callback receiving structured progress events.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@runtime_checkable
+class EmbeddingTool(Protocol):
+    """Uniform interface over every embedding backend."""
+
+    name: str
+    display_name: str
+
+    def describe(self) -> str:
+        """One-line human-readable description of the tool."""
+        ...
+
+    def prepare(self, graph: CSRGraph) -> None:
+        """Optional warm-up for ``graph`` (no-op for stateless tools)."""
+        ...
+
+    def embed(self, graph: CSRGraph, *,
+              device: "SimulatedDevice | None" = None,
+              seed: int | None = None,
+              progress: ProgressCallback | None = None) -> EmbeddingResult:
+        """Embed ``graph`` and return the canonical result envelope."""
+        ...
+
+    def __call__(self, graph: CSRGraph) -> np.ndarray:
+        """Bare-callable compatibility: return just the embedding matrix."""
+        ...
+
+
+def as_embedder(tool: "EmbeddingTool | Callable[[CSRGraph], np.ndarray] | str",
+                *, seed: int | None = None) -> Callable[[CSRGraph], np.ndarray]:
+    """Coerce a tool name, :class:`EmbeddingTool`, or bare callable into a
+    ``graph -> embedding`` function.
+
+    This is the single adaptation point used by the evaluation pipeline so it
+    can accept any of the three spellings.  ``seed`` is forwarded to the
+    tool's ``embed`` call (names and :class:`EmbeddingTool` instances), so a
+    pipeline-level seed governs the embedding too; bare callables manage
+    their own seeding.
+    """
+    if isinstance(tool, str):
+        from .registry import get_tool
+
+        resolved = get_tool(tool)
+        return lambda graph: resolved.embed(graph, seed=seed).embedding
+    embed = getattr(tool, "embed", None)
+    if callable(embed) and hasattr(tool, "name"):
+        return lambda graph: tool.embed(graph, seed=seed).embedding
+    if callable(tool):
+        return tool
+    raise TypeError(f"cannot use {tool!r} as an embedder: expected a registered tool "
+                    "name, an EmbeddingTool, or a callable graph -> embedding")

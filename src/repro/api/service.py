@@ -1,0 +1,155 @@
+"""`EmbeddingService` — the serving-oriented entry point over the registry.
+
+The service is what a request-handling deployment of this system would sit
+behind: callers submit embed (or embed-and-evaluate) requests by tool *name*,
+and the service
+
+* resolves tools through the global registry, memoising one configured
+  instance per name,
+* shares one :class:`~repro.api.cache.HierarchyCache` across every GOSH
+  variant, so repeated runs on the same graph — a fast/normal/slow sweep, or
+  the same graph arriving in many requests — pay for MultiEdgeCollapse once,
+* processes batches of :class:`EmbedRequest` objects sequentially while
+  reporting structured progress through callbacks,
+* keeps serving counters (requests served, cache hit rate) for observability.
+
+Example::
+
+    from repro.api import EmbeddingService
+
+    service = EmbeddingService(dim=32, epoch_scale=0.05)
+    first = service.embed("gosh-normal", graph)      # coarsens
+    second = service.embed("gosh-fast", graph)       # reuses the hierarchy
+    assert second.stats["hierarchy_cache_hit"]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..graph.csr import CSRGraph
+from .cache import HierarchyCache
+from .protocol import EmbeddingTool, ProgressCallback
+from .registry import get_tool
+from .result import EmbeddingResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..eval.link_prediction import LinkPredictionResult
+    from ..gpu.device import SimulatedDevice
+
+__all__ = ["EmbedRequest", "EmbeddingService"]
+
+
+@dataclass
+class EmbedRequest:
+    """One unit of service work: embed ``graph`` with the named tool.
+
+    ``evaluate=True`` additionally runs the link-prediction pipeline on the
+    result (the embedding is then trained on the 80% split, as in the paper).
+    """
+
+    tool: str | EmbeddingTool
+    graph: CSRGraph
+    seed: int | None = None
+    evaluate: bool = False
+    classifier: str = "logistic"
+
+
+class EmbeddingService:
+    """Batched, cached, registry-backed facade over every embedding tool."""
+
+    def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
+                 device: "SimulatedDevice | None" = None, seed: int = 0,
+                 cache_entries: int = 8,
+                 progress: ProgressCallback | None = None):
+        self.dim = dim
+        self.epoch_scale = epoch_scale
+        self.device = device
+        self.seed = seed
+        self.progress = progress
+        self.hierarchy_cache = HierarchyCache(max_entries=cache_entries)
+        self.requests_served = 0
+        self._tools: dict[str, EmbeddingTool] = {}
+
+    # ------------------------------------------------------------------ #
+    # Tool resolution
+    # ------------------------------------------------------------------ #
+    def tool(self, name: str | EmbeddingTool) -> EmbeddingTool:
+        """Resolve (and memoise) a configured tool, wiring in the shared cache.
+
+        Caller-supplied tool instances are used as-is — their cache state
+        (pre-warmed or deliberately absent) belongs to the caller; only tools
+        the service resolves itself join the shared hierarchy cache.
+        """
+        if not isinstance(name, str):
+            return name
+        key = name.strip().lower()
+        if key not in self._tools:
+            tool = get_tool(key, dim=self.dim, epoch_scale=self.epoch_scale,
+                            device=self.device, seed=self.seed)
+            # GOSH variants expose `hierarchy_cache`; all of them share ours
+            # so a hierarchy built for one configuration serves every other
+            # one with the same coarsening knobs.
+            if hasattr(tool, "hierarchy_cache") and tool.hierarchy_cache is None:
+                tool.hierarchy_cache = self.hierarchy_cache
+            self._tools[key] = tool
+        return self._tools[key]
+
+    def prepare(self, name: str | EmbeddingTool, graph: CSRGraph) -> None:
+        """Warm the tool (and the shared hierarchy cache) for ``graph``."""
+        self.tool(name).prepare(graph)
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def embed(self, name: str | EmbeddingTool, graph: CSRGraph, *,
+              seed: int | None = None,
+              progress: ProgressCallback | None = None) -> EmbeddingResult:
+        """Embed one graph with the named tool."""
+        tool = self.tool(name)
+        result = tool.embed(graph, seed=seed, progress=progress or self.progress)
+        self.requests_served += 1
+        return result
+
+    def evaluate(self, name: str | EmbeddingTool, graph: CSRGraph, *,
+                 seed: int | None = None, classifier: str = "logistic",
+                 ) -> "LinkPredictionResult":
+        """Run the link-prediction pipeline around the named tool."""
+        from ..eval.link_prediction import run_link_prediction
+
+        tool = self.tool(name)
+        # run_link_prediction forwards its seed to the tool's embed call, so
+        # a per-request seed governs the embedding as well as the split.
+        result = run_link_prediction(graph, tool, classifier=classifier,
+                                     seed=self.seed if seed is None else seed)
+        self.requests_served += 1
+        return result
+
+    def embed_batch(self, requests: Iterable[EmbedRequest],
+                    ) -> list[EmbeddingResult | "LinkPredictionResult"]:
+        """Process a batch of requests in order.
+
+        Requests on the same graph share cached hierarchies, so a batch that
+        sweeps GOSH configurations over one graph coarsens it exactly once.
+        """
+        results: list[EmbeddingResult | LinkPredictionResult] = []
+        for request in requests:
+            if request.evaluate:
+                results.append(self.evaluate(request.tool, request.graph,
+                                             seed=request.seed,
+                                             classifier=request.classifier))
+            else:
+                results.append(self.embed(request.tool, request.graph,
+                                          seed=request.seed))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, object]:
+        return {
+            "requests_served": self.requests_served,
+            "tools_resolved": sorted(self._tools),
+            "hierarchy_cache": self.hierarchy_cache.stats(),
+        }

@@ -1,17 +1,19 @@
 """Command-line interface for the GOSH reproduction.
 
-Four subcommands cover the day-to-day workflow of the original tool:
+Five subcommands cover the day-to-day workflow of the original tool:
 
 * ``repro-gosh embed``    — embed an edge-list file (or a named synthetic
-  twin) and save the embedding matrix as ``.npy``.
+  twin) with any registered tool and save the matrix as ``.npy``.
 * ``repro-gosh coarsen``  — run MultiEdgeCollapse and print the per-level
   statistics (a Table 4/5-style report).
 * ``repro-gosh evaluate`` — run the full link-prediction pipeline around a
   chosen tool and print the AUCROC.
+* ``repro-gosh tools``    — list the registered embedding tools.
 * ``repro-gosh datasets`` — list the registered synthetic twins (Table 2).
 
 The CLI is intentionally thin: every subcommand is a short wrapper over the
-public library API so that scripts remain the primary interface.
+public library API — tools are resolved exclusively through the
+:mod:`repro.api` registry — so that scripts remain the primary interface.
 """
 
 from __future__ import annotations
@@ -22,8 +24,8 @@ from pathlib import Path
 
 import numpy as np
 
+from .api import UnknownToolError, get_tool, tool_descriptions
 from .coarsening import multi_edge_collapse, parallel_multi_edge_collapse, summarize
-from .embedding import GoshEmbedder, get_config
 from .eval import run_link_prediction
 from .graph import CSRGraph, read_edge_list
 from .gpu import DeviceSpec, SimulatedDevice
@@ -52,22 +54,46 @@ def _make_device(memory_mb: float | None) -> SimulatedDevice:
                                            memory_bytes=int(memory_mb * 1024 * 1024)))
 
 
+def _resolve_tool(args: argparse.Namespace):
+    """Build the requested tool from the registry.
+
+    ``--tool`` names any registered tool; the legacy ``--config`` flag keeps
+    working by mapping Table 3 configuration names onto the GOSH variants.
+    """
+    name = args.tool
+    if name is None:
+        name = f"gosh-{args.config.strip().lower()}"
+    device = _make_device(args.device_memory_mb)
+    try:
+        return get_tool(name, dim=args.dim, epoch_scale=args.epoch_scale,
+                        device=device, seed=args.seed)
+    except UnknownToolError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 # --------------------------------------------------------------------------- #
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
 def cmd_embed(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, seed=args.seed)
-    config = get_config(args.config).scaled(args.epoch_scale, dim=args.dim).with_(seed=args.seed)
-    device = _make_device(args.device_memory_mb)
-    result = GoshEmbedder(config, device=device).embed(graph)
+    tool = _resolve_tool(args)
+    result = tool.embed(graph)
     np.save(args.output, result.embedding)
     print(f"graph: {graph}")
-    print(f"levels: {result.hierarchy.level_sizes()}")
-    print(f"epochs per level: {result.epochs_per_level}")
-    print(f"coarsening: {result.coarsening_seconds:.3f}s, training: {result.training_seconds:.3f}s")
-    if result.large_graph_stats:
-        stats = result.large_graph_stats[0]
-        print(f"partitioned engine: K={stats.num_parts}, rotations={stats.rotations}")
+    print(f"tool: {result.tool} — {tool.describe()}")
+    for stage, seconds in result.timings.items():
+        print(f"{stage}: {seconds:.3f}s")
+    if "level_sizes" in result.stats:
+        print(f"levels: {result.stats['level_sizes']}")
+    if "epochs_per_level" in result.stats:
+        print(f"epochs per level: {result.stats['epochs_per_level']}")
+    large = result.stats.get("large_graph")
+    if large:
+        print("partitioned engine: "
+              f"levels={large['levels']}, K={large['parts_per_level']}, "
+              f"rotations={large['rotations']}, kernels={large['kernels']}, "
+              f"switches={large['submatrix_switches']} "
+              f"({large['seconds']:.3f}s)")
     print(f"embedding saved to {args.output} (shape {result.embedding.shape})")
     return 0
 
@@ -92,17 +118,18 @@ def cmd_coarsen(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, seed=args.seed)
-    config = get_config(args.config).scaled(args.epoch_scale, dim=args.dim).with_(seed=args.seed)
-    device = _make_device(args.device_memory_mb)
-
-    def embedder(train_graph: CSRGraph) -> np.ndarray:
-        return GoshEmbedder(config, device=device).embed(train_graph).embedding
-
-    result = run_link_prediction(graph, embedder, classifier=args.classifier, seed=args.seed)
+    tool = _resolve_tool(args)
+    result = run_link_prediction(graph, tool, classifier=args.classifier, seed=args.seed)
     print(f"graph: {graph}")
-    print(f"config: {config.name} (dim={config.dim}, epochs={config.epochs})")
+    print(f"tool: {tool.name} — {tool.describe()}")
     print(f"embedding time: {result.embed_seconds:.3f}s")
     print(f"link-prediction AUCROC: {100 * result.auc:.2f}%")
+    return 0
+
+
+def cmd_tools(args: argparse.Namespace) -> int:
+    rows = tool_descriptions(dim=args.dim, epoch_scale=args.epoch_scale)
+    print_table(rows, title="Registered embedding tools (repro.api registry)")
     return 0
 
 
@@ -128,14 +155,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("graph", help="edge-list file or registered dataset name")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_tool_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tool", default=None,
+                       help="registered tool name (see `repro-gosh tools`); "
+                            "overrides --config")
+        p.add_argument("--config", default="normal",
+                       help="GOSH configuration: fast | normal | slow | no-coarsening "
+                            "(shorthand for --tool gosh-<config>)")
+        p.add_argument("--device-memory-mb", type=float, default=None,
+                       help="simulated device memory (default: Titan X, 12 GB)")
+
     p_embed = sub.add_parser("embed", help="embed a graph and save the matrix as .npy")
     add_common(p_embed)
     p_embed.add_argument("--output", "-o", default="embedding.npy")
-    p_embed.add_argument("--config", default="normal", help="fast | normal | slow | no-coarsening")
+    add_tool_options(p_embed)
     p_embed.add_argument("--dim", type=int, default=128)
     p_embed.add_argument("--epoch-scale", type=float, default=1.0)
-    p_embed.add_argument("--device-memory-mb", type=float, default=None,
-                         help="simulated device memory (default: Titan X, 12 GB)")
     p_embed.set_defaults(func=cmd_embed)
 
     p_coarsen = sub.add_parser("coarsen", help="run MultiEdgeCollapse and report per-level stats")
@@ -146,12 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_eval = sub.add_parser("evaluate", help="run the link-prediction pipeline")
     add_common(p_eval)
-    p_eval.add_argument("--config", default="normal")
+    add_tool_options(p_eval)
     p_eval.add_argument("--dim", type=int, default=32)
     p_eval.add_argument("--epoch-scale", type=float, default=0.2)
     p_eval.add_argument("--classifier", choices=("logistic", "sgd"), default="logistic")
-    p_eval.add_argument("--device-memory-mb", type=float, default=None)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_tools = sub.add_parser("tools", help="list the registered embedding tools")
+    p_tools.add_argument("--dim", type=int, default=32)
+    p_tools.add_argument("--epoch-scale", type=float, default=1.0)
+    p_tools.set_defaults(func=cmd_tools)
 
     p_data = sub.add_parser("datasets", help="list the registered synthetic twins")
     p_data.add_argument("--scale", choices=("medium", "large"), default=None)

@@ -88,6 +88,8 @@ class GoshConfig:
             raise ValueError("positive_batch_per_vertex (B) must be >= 1")
         if self.resident_submatrices < 2:
             raise ValueError("resident_submatrices (P_GPU) must be >= 2")
+        if self.resident_sample_pools < 1:
+            raise ValueError("resident_sample_pools (S_GPU) must be >= 1")
 
 
 #: Table 3 rows.

@@ -93,11 +93,19 @@ class GoshEmbedder:
         return hierarchy, perf_counter() - t0
 
     # ------------------------------------------------------------------ #
-    def embed(self, graph: CSRGraph, *, epochs: int | None = None) -> GoshResult:
-        """Run the full pipeline and return the level-0 embedding."""
+    def embed(self, graph: CSRGraph, *, epochs: int | None = None,
+              hierarchy: CoarseningHierarchy | None = None) -> GoshResult:
+        """Run the full pipeline and return the level-0 embedding.
+
+        A pre-built ``hierarchy`` (e.g. from the :mod:`repro.api` hierarchy
+        cache) skips stage 1 entirely; ``coarsening_seconds`` is then 0.
+        """
         cfg = self.config
         total_start = perf_counter()
-        hierarchy, coarsening_seconds = self.coarsen(graph)
+        if hierarchy is not None:
+            coarsening_seconds = 0.0
+        else:
+            hierarchy, coarsening_seconds = self.coarsen(graph)
 
         budget = epochs if epochs is not None else cfg.epochs
         epochs_per_level = distribute_epochs(budget, hierarchy.num_levels, cfg.smoothing_ratio)

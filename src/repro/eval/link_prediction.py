@@ -89,13 +89,24 @@ def evaluate_embedding(embedding: np.ndarray, split: LinkPredictionSplit, *,
     )
 
 
-def run_link_prediction(graph: CSRGraph, embedder: Embedder, *,
+def run_link_prediction(graph: CSRGraph, embedder: "Embedder | str | object", *,
                         train_fraction: float = 0.8, classifier: str = "logistic",
                         operator: str = "hadamard", seed: int = 0) -> LinkPredictionResult:
-    """The full Section 4.1 pipeline around an arbitrary embedder callable."""
+    """The full Section 4.1 pipeline around any embedder spelling.
+
+    ``embedder`` may be a registered tool name (``"gosh-fast"``), an
+    :class:`~repro.api.protocol.EmbeddingTool`, or a bare
+    ``graph -> embedding`` callable; names and tools are resolved through
+    :func:`repro.api.as_embedder`, which also forwards ``seed`` to the
+    embedding so one seed governs the whole pipeline (bare callables keep
+    their own seeding).
+    """
+    from ..api.protocol import as_embedder
+
+    embed_fn = as_embedder(embedder, seed=seed)
     split = train_test_split(graph, train_fraction=train_fraction, seed=seed)
     t0 = perf_counter()
-    embedding = embedder(split.train_graph)
+    embedding = embed_fn(split.train_graph)
     embed_seconds = perf_counter() - t0
     return evaluate_embedding(embedding, split, classifier=classifier,
                               operator=operator, seed=seed, embed_seconds=embed_seconds)

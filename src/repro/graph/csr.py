@@ -14,6 +14,7 @@ edges remain practical in pure Python.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -100,6 +101,8 @@ class CSRGraph:
     name: str = "graph"
     # Cached degree array (out-degrees); built lazily.
     _degrees: np.ndarray | None = field(default=None, repr=False, compare=False)
+    # Cached content hash; built lazily by fingerprint().
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -282,6 +285,22 @@ class CSRGraph:
     def nbytes(self) -> int:
         """Bytes needed to store the CSR arrays — the paper's (|V|+1)+|E| entries."""
         return int(self.xadj.nbytes + self.adj.nbytes)
+
+    def fingerprint(self) -> str:
+        """A content hash of the CSR arrays, stable across equal graphs.
+
+        Used as a cache key (e.g. by the :class:`repro.api` hierarchy cache):
+        two graphs with identical structure share a fingerprint regardless of
+        their ``name``.  Computed once and memoised; CSR arrays are treated as
+        immutable throughout the codebase.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(np.ascontiguousarray(self.xadj).tobytes())
+            h.update(np.ascontiguousarray(self.adj).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Dunder / misc

@@ -1,24 +1,28 @@
-"""Experiment runner: ties datasets, tools, and the link-prediction pipeline together.
+"""Experiment runner: ties datasets, the tool registry, and link prediction together.
 
 The runner is the workhorse behind the Table 6 / Table 7 benchmarks: for a
 given graph it runs every requested tool (GOSH in its Table 3 configurations,
 VERSE, MILE, GraphVite-like), evaluates link prediction, and emits rows in
 the paper's format (tool, time, speedup vs VERSE, AUCROC).
+
+Tools are resolved exclusively through the :mod:`repro.api` registry:
+:func:`default_tools` instantiates every registered tool, so a backend added
+with ``repro.api.register_tool`` shows up in the suite automatically.  The
+runner accepts both :class:`~repro.api.protocol.EmbeddingTool` instances and
+bare ``graph -> embedding`` callables as tool values.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Callable
 
 import numpy as np
 
-from ..baselines.graphvite_like import GraphViteConfig, graphvite_embed
-from ..baselines.mile import MileConfig, mile_embed
-from ..embedding.config import FAST, NO_COARSE, NORMAL, SLOW, GoshConfig
-from ..embedding.gosh import GoshEmbedder
-from ..embedding.verse import VerseConfig, verse_embed
+from ..api.protocol import EmbeddingTool
+from ..api.registry import available_tools, get_tool
+from ..api.result import EmbeddingResult
 from ..eval.link_prediction import evaluate_embedding
 from ..eval.split import train_test_split
 from ..gpu.device import DeviceMemoryError, SimulatedDevice
@@ -37,6 +41,9 @@ class ToolRun:
     auc: float | None
     speedup_vs_baseline: float | None = None
     error: str | None = None
+    #: Timings/stats envelope from the tool; the embedding matrix and the
+    #: backend-native raw result are stripped so long sweeps stay lightweight.
+    result: EmbeddingResult | None = None
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -49,66 +56,50 @@ class ToolRun:
         }
 
 
+#: A bare embedder maps a training graph to a (|V|, d) embedding matrix.
 EmbedderFactory = Callable[[CSRGraph], np.ndarray]
 
 
 def default_tools(*, dim: int = 32, epoch_scale: float = 0.05,
                   device: SimulatedDevice | None = None,
-                  seed: int = 0) -> dict[str, EmbedderFactory]:
-    """The Table 6 tool suite, scaled for laptop-sized twins.
+                  seed: int = 0) -> dict[str, EmbeddingTool]:
+    """The registered tool suite, scaled for laptop-sized twins.
 
+    A pure registry query: every tool listed by
+    :func:`repro.api.available_tools` is instantiated with the given options
+    and keyed by its paper-table display name (``Verse``, ``Gosh-fast``, …).
     ``epoch_scale`` multiplies every tool's epoch budget equally so relative
     comparisons stay fair while wall-clock stays small.
     """
-    device = device or SimulatedDevice()
-
-    def _gosh(config: GoshConfig) -> EmbedderFactory:
-        cfg = config.scaled(epoch_scale, dim=dim).with_(seed=seed)
-
-        def run(graph: CSRGraph) -> np.ndarray:
-            return GoshEmbedder(cfg, device=device).embed(graph).embedding
-
-        return run
-
-    def _verse(graph: CSRGraph) -> np.ndarray:
-        # The paper runs VERSE with PPR similarity and lr = 0.0025 for 600+
-        # full-size epochs.  At twin scale that budget is far too small for
-        # the diffuse PPR walks to converge, so the scaled suite runs VERSE
-        # with its adjacency similarity and a learning rate matched to the
-        # other tools — keeping it the quality reference it is in Table 6.
-        cfg = VerseConfig(dim=dim, epochs=max(1, int(600 * epoch_scale)),
-                          learning_rate=0.045, similarity="adjacency", seed=seed)
-        return verse_embed(graph, cfg).embedding
-
-    def _mile(graph: CSRGraph) -> np.ndarray:
-        cfg = MileConfig(dim=dim, base_epochs=max(1, int(200 * epoch_scale)), seed=seed)
-        return mile_embed(graph, cfg).embedding
-
-    def _graphvite(graph: CSRGraph) -> np.ndarray:
-        cfg = GraphViteConfig(dim=dim, epochs=max(1, int(600 * epoch_scale)),
-                              learning_rate=0.05, seed=seed)
-        return graphvite_embed(graph, cfg, device=device).embedding
-
-    return {
-        "Verse": _verse,
-        "Mile": _mile,
-        "Graphvite": _graphvite,
-        "Gosh-fast": _gosh(FAST),
-        "Gosh-normal": _gosh(NORMAL),
-        "Gosh-slow": _gosh(SLOW),
-        "Gosh-NoCoarse": _gosh(NO_COARSE),
-    }
+    tools: dict[str, EmbeddingTool] = {}
+    for name in available_tools():
+        tool = get_tool(name, dim=dim, epoch_scale=epoch_scale, device=device, seed=seed)
+        # Display names are the table labels but are not guaranteed unique
+        # across registrations; fall back to the (unique) registry name so no
+        # tool silently drops out of the suite.
+        key = tool.display_name if tool.display_name not in tools else name
+        tools[key] = tool
+    return tools
 
 
 @dataclass
 class ExperimentRunner:
-    """Runs a tool suite over graphs and collects paper-style rows."""
+    """Runs a tool suite over graphs and collects paper-style rows.
 
-    tools: dict[str, EmbedderFactory]
+    ``tools`` maps display names to :class:`EmbeddingTool` instances or bare
+    callables; when omitted, the full registry suite (:func:`default_tools`)
+    is used.
+    """
+
+    tools: dict[str, EmbeddingTool | EmbedderFactory] | None = None
     baseline_tool: str = "Verse"
     classifier: str = "logistic"
     seed: int = 0
     results: list[ToolRun] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.tools is None:
+            self.tools = default_tools(seed=self.seed)
 
     def run_graph(self, graph: CSRGraph, *, tools: list[str] | None = None) -> list[ToolRun]:
         """Run every tool on one graph and evaluate link prediction."""
@@ -118,13 +109,21 @@ class ExperimentRunner:
         for name in selected:
             embedder = self.tools[name]
             t0 = perf_counter()
+            tool_result: EmbeddingResult | None = None
             try:
-                embedding = embedder(split.train_graph)
+                if isinstance(embedder, EmbeddingTool):
+                    full_result = embedder.embed(split.train_graph)
+                    embedding = full_result.embedding
+                    tool_result = replace(full_result,
+                                          embedding=np.empty((0, 0), dtype=np.float32),
+                                          raw=None)
+                else:
+                    embedding = embedder(split.train_graph)
                 seconds = perf_counter() - t0
                 result = evaluate_embedding(embedding, split, classifier=self.classifier,
                                              seed=self.seed, embed_seconds=seconds)
                 runs.append(ToolRun(graph=graph.name, tool=name, seconds=seconds,
-                                    auc=result.auc))
+                                    auc=result.auc, result=tool_result))
             except DeviceMemoryError as exc:
                 runs.append(ToolRun(graph=graph.name, tool=name,
                                     seconds=perf_counter() - t0, auc=None,

@@ -1,0 +1,163 @@
+"""Tests for the EmbeddingService facade and its hierarchy cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import (
+    EmbedRequest,
+    EmbeddingService,
+    HierarchyCache,
+    hierarchy_cache_key,
+)
+from repro.embedding import NORMAL, GoshEmbedder
+from repro.eval import LinkPredictionResult
+
+
+class TestHierarchyCache:
+    def test_second_build_is_a_hit(self, small_power_graph):
+        cache = HierarchyCache()
+        cfg = NORMAL.scaled(0.02, dim=8)
+        embedder = GoshEmbedder(cfg)
+        h1, s1, hit1 = cache.get_or_build(small_power_graph, cfg,
+                                          lambda: embedder.coarsen(small_power_graph))
+        h2, s2, hit2 = cache.get_or_build(small_power_graph, cfg,
+                                          lambda: embedder.coarsen(small_power_graph))
+        assert hit1 is False and hit2 is True
+        assert h2 is h1
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_key_ignores_training_knobs_but_not_coarsening_knobs(self, small_power_graph):
+        base = NORMAL.scaled(0.02, dim=8)
+        same = base.with_(learning_rate=0.9, epochs=3, dim=64, seed=5)
+        different = base.with_(coarsening_threshold=10)
+        no_coarse = base.with_(use_coarsening=False)
+        key = hierarchy_cache_key(small_power_graph, base)
+        assert hierarchy_cache_key(small_power_graph, same) == key
+        assert hierarchy_cache_key(small_power_graph, different) != key
+        assert hierarchy_cache_key(small_power_graph, no_coarse) != key
+
+    def test_key_tracks_graph_content_not_name(self, small_power_graph, tiny_graph):
+        cfg = NORMAL.scaled(0.02, dim=8)
+        renamed = type(small_power_graph)(
+            xadj=small_power_graph.xadj, adj=small_power_graph.adj,
+            num_vertices=small_power_graph.num_vertices, name="other-name")
+        assert (hierarchy_cache_key(renamed, cfg)
+                == hierarchy_cache_key(small_power_graph, cfg))
+        assert (hierarchy_cache_key(tiny_graph, cfg)
+                != hierarchy_cache_key(small_power_graph, cfg))
+
+    def test_lru_eviction(self, small_power_graph, tiny_graph, community_graph):
+        cache = HierarchyCache(max_entries=2)
+        cfg = NORMAL.scaled(0.02, dim=8)
+        embedder = GoshEmbedder(cfg)
+        for g in (small_power_graph, tiny_graph, community_graph):
+            cache.get_or_build(g, cfg, lambda g=g: embedder.coarsen(g))
+        assert len(cache) == 2
+        # The oldest entry (small_power_graph) was evicted.
+        _, _, hit = cache.get_or_build(small_power_graph, cfg,
+                                       lambda: embedder.coarsen(small_power_graph))
+        assert hit is False
+
+
+class TestEmbeddingService:
+    def test_repeated_graph_skips_recoarsening(self, small_power_graph):
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        first = service.embed("gosh-normal", small_power_graph)
+        second = service.embed("gosh-normal", small_power_graph)
+        assert first.stats["hierarchy_cache_hit"] is False
+        assert second.stats["hierarchy_cache_hit"] is True
+        # The cached run reports (near-)zero coarsening time — strictly less
+        # than the build, and bounded by a lookup's worth of wall-clock.
+        assert second.timings["coarsening"] < first.timings["coarsening"]
+        assert second.timings["coarsening"] < 0.005
+        assert service.hierarchy_cache.stats()["hits"] == 1
+        # Both runs used the same hierarchy, so shapes agree.
+        assert first.stats["level_sizes"] == second.stats["level_sizes"]
+
+    def test_cache_shared_across_gosh_variants(self, small_power_graph):
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        service.embed("gosh-normal", small_power_graph)
+        sweep = service.embed("gosh-slow", small_power_graph)
+        assert sweep.stats["hierarchy_cache_hit"] is True
+        assert service.hierarchy_cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_prepare_then_embed_hits(self, small_power_graph):
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        service.prepare("gosh-fast", small_power_graph)
+        result = service.embed("gosh-fast", small_power_graph)
+        assert result.stats["hierarchy_cache_hit"] is True
+
+    def test_batched_requests_mixed_tools(self, small_power_graph):
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        results = service.embed_batch([
+            EmbedRequest("verse", small_power_graph),
+            EmbedRequest("gosh-fast", small_power_graph),
+            EmbedRequest("gosh-slow", small_power_graph),
+            EmbedRequest("gosh-fast", small_power_graph, evaluate=True),
+        ])
+        assert len(results) == 4
+        assert results[0].tool == "verse"
+        assert results[1].stats["hierarchy_cache_hit"] is False
+        assert results[2].stats["hierarchy_cache_hit"] is True
+        assert isinstance(results[3], LinkPredictionResult)
+        assert 0.0 < results[3].auc <= 1.0
+        assert service.stats()["requests_served"] == 4
+
+    def test_progress_callback_from_service(self, small_power_graph):
+        events = []
+        service = EmbeddingService(dim=8, epoch_scale=0.02, progress=events.append)
+        service.embed("gosh-normal", small_power_graph)
+        assert [e.stage for e in events] == ["coarsen", "train", "done"]
+
+    def test_service_keeps_prewarmed_tool_cache(self, small_power_graph):
+        """A caller-supplied tool that already carries a (warm) cache keeps
+        it — the service must not clobber state it does not own."""
+        from repro.api import get_tool
+
+        tool = get_tool("gosh-normal", dim=8, epoch_scale=0.02)
+        tool.prepare(small_power_graph)
+        warmed = tool.hierarchy_cache
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        result = service.embed(tool, small_power_graph)
+        assert tool.hierarchy_cache is warmed
+        assert result.stats["hierarchy_cache_hit"] is True
+
+    def test_tool_instances_memoised(self, small_power_graph):
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        assert service.tool("verse") is service.tool("VERSE")
+        assert service.stats()["tools_resolved"] == ["verse"]
+
+    def test_different_graphs_do_not_collide(self, small_power_graph, community_graph):
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        a = service.embed("gosh-normal", small_power_graph)
+        b = service.embed("gosh-normal", community_graph)
+        assert b.stats["hierarchy_cache_hit"] is False
+        assert a.embedding.shape[0] != b.embedding.shape[0]
+
+    def test_evaluate_by_name(self, community_graph):
+        service = EmbeddingService(dim=16, epoch_scale=0.05)
+        result = service.evaluate("gosh-fast", community_graph)
+        assert 0.5 < result.auc <= 1.0
+
+    def test_raw_result_timings_agree_with_envelope(self, small_power_graph):
+        """On the cache path the backend-native GoshResult must not report
+        coarsening as free when it actually ran (miss) or vice versa."""
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        miss = service.embed("gosh-normal", small_power_graph)
+        assert miss.raw.coarsening_seconds == miss.timings["coarsening"] > 0.0
+        assert miss.raw.total_seconds >= miss.raw.coarsening_seconds
+        hit = service.embed("gosh-normal", small_power_graph)
+        assert hit.raw.coarsening_seconds == hit.timings["coarsening"] < 0.005
+
+
+def test_embedder_accepts_prebuilt_hierarchy(small_power_graph):
+    """GoshEmbedder.embed(hierarchy=...) skips stage 1 (the cache's hook)."""
+    cfg = NORMAL.scaled(0.02, dim=8)
+    embedder = GoshEmbedder(cfg)
+    hierarchy, _ = embedder.coarsen(small_power_graph)
+    result = embedder.embed(small_power_graph, hierarchy=hierarchy)
+    assert result.coarsening_seconds == 0.0
+    assert result.hierarchy is hierarchy
+    assert result.embedding.shape == (small_power_graph.num_vertices, 8)
+    assert np.isfinite(result.embedding).all()

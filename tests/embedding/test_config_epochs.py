@@ -71,6 +71,14 @@ class TestTable3Configurations:
             GoshConfig(resident_submatrices=1).validate()
         NORMAL.validate()
 
+    def test_resident_sample_pools_must_be_positive(self):
+        """S_GPU < 1 would leave the large-graph engine without sample pools."""
+        with pytest.raises(ValueError, match="resident_sample_pools"):
+            GoshConfig(resident_sample_pools=0).validate()
+        with pytest.raises(ValueError, match="S_GPU"):
+            GoshConfig(resident_sample_pools=-2).validate()
+        GoshConfig(resident_sample_pools=1).validate()
+
 
 class TestDistributeEpochs:
     def test_sums_to_budget(self):

@@ -112,3 +112,34 @@ class TestExperimentRunner:
         runs = runner.run_graph(graph, tools=["Graphvite"])
         assert runs[0].error is not None
         assert runs[0].auc is None
+
+
+class TestRegistryBackedSuite:
+    def test_default_tools_matches_registry(self):
+        from repro.api import available_tools
+
+        tools = default_tools(dim=8, epoch_scale=0.02)
+        assert len(tools) == len(available_tools())
+        assert set(tools) == {"Verse", "Mile", "Graphvite", "Gosh-fast",
+                              "Gosh-normal", "Gosh-slow", "Gosh-NoCoarse"}
+
+    def test_display_name_collision_falls_back_to_registry_name(self):
+        from repro.api import register_tool, unregister_tool
+        from repro.api.tools import GoshTool
+
+        register_tool("gosh-fast-v2", lambda **kw: GoshTool("fast", **kw))
+        try:
+            tools = default_tools(dim=8, epoch_scale=0.02)
+            # Both fast variants survive: the second keeps its registry name.
+            assert "Gosh-fast" in tools and "gosh-fast-v2" in tools
+        finally:
+            unregister_tool("gosh-fast-v2")
+
+    def test_runner_retains_slim_results(self):
+        graph = load_dataset("com-amazon", seed=0)
+        runner = ExperimentRunner(tools=default_tools(dim=8, epoch_scale=0.02), seed=0)
+        runs = runner.run_graph(graph, tools=["Gosh-fast"])
+        retained = runs[0].result
+        assert retained is not None
+        assert retained.embedding.size == 0 and retained.raw is None
+        assert retained.timings["training"] > 0

@@ -71,3 +71,51 @@ class TestCommands:
     def test_unknown_graph_errors(self):
         with pytest.raises(SystemExit):
             main(["coarsen", "no-such-graph-or-file"])
+
+
+class TestToolRegistryCli:
+    def test_tools_lists_registry(self, capsys):
+        assert main(["tools"]) == 0
+        out = capsys.readouterr().out
+        for name in ("verse", "mile", "graphvite", "gosh-fast", "gosh-normal",
+                     "gosh-slow", "gosh-nocoarse"):
+            assert name in out
+
+    def test_embed_with_tool_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "verse.npy"
+        code = main(["embed", "com-amazon", "--tool", "verse", "--dim", "8",
+                     "--epoch-scale", "0.02", "-o", str(out_path)])
+        assert code == 0
+        assert np.load(out_path).shape[1] == 8
+        assert "tool: verse" in capsys.readouterr().out
+
+    def test_embed_tool_overrides_config(self, tmp_path, capsys):
+        out_path = tmp_path / "mile.npy"
+        code = main(["embed", "com-amazon", "--config", "fast", "--tool", "mile",
+                     "--dim", "8", "--epoch-scale", "0.02", "-o", str(out_path)])
+        assert code == 0
+        assert "tool: mile" in capsys.readouterr().out
+
+    def test_embed_unknown_tool_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="node2vec"):
+            main(["embed", "com-amazon", "--tool", "node2vec",
+                  "-o", str(tmp_path / "x.npy")])
+
+    def test_embed_reports_aggregated_partitioned_stats(self, tmp_path, capsys):
+        """A tiny device forces the large-graph engine; the report aggregates
+        every level that used it, not just the first."""
+        out_path = tmp_path / "large.npy"
+        code = main(["embed", "com-amazon", "--config", "fast", "--dim", "32",
+                     "--epoch-scale", "0.05", "--device-memory-mb", "0.15",
+                     "-o", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partitioned engine" in out
+        assert "levels=" in out and "K=[" in out and "kernels=" in out
+
+    def test_evaluate_with_tool_flag(self, capsys):
+        code = main(["evaluate", "com-amazon", "--tool", "gosh-fast", "--dim", "16",
+                     "--epoch-scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AUCROC" in out and "gosh-fast" in out
