@@ -10,6 +10,9 @@ same construction options so the registry can build any of them uniformly:
   knob (relative tool comparisons stay fair while wall-clock stays small).
 * ``device`` — simulated device; ignored by the CPU-only baselines.
 * ``seed`` — RNG seed (``None`` keeps the backend default).
+* ``kernel_backend`` — kernel layer for the GOSH update kernels
+  (``"reference"`` or ``"vectorized"``); accepted and ignored by the
+  baselines, which have their own training loops.
 
 The module-level ``make_gosh_*`` factories are the lazy registration targets
 for the four named GOSH variants (see :mod:`repro.api.registry`).
@@ -27,6 +30,7 @@ from ..baselines.mile import MileConfig, mile_embed
 from ..embedding.config import GoshConfig, get_config
 from ..embedding.gosh import GoshEmbedder
 from ..embedding.verse import VerseConfig, verse_embed
+from ..gpu.backends import get_backend
 from ..gpu.device import SimulatedDevice
 from ..graph.csr import CSRGraph
 from .cache import HierarchyCache
@@ -44,6 +48,22 @@ __all__ = [
     "make_gosh_slow",
     "make_gosh_nocoarse",
 ]
+
+
+def _check_ignored_kernel_backend(name: str | None) -> None:
+    """Validate a ``kernel_backend`` option a tool accepts but does not use.
+
+    The baselines have their own training loops, so the option is ignored —
+    but an *unregistered* name must still error, otherwise the same typo
+    that fails for GOSH tools silently passes here and mislabels benchmark
+    numbers.  Raises ``ValueError`` to match ``GoshConfig.validate``.
+    """
+    if name is None:
+        return
+    try:
+        get_backend(name)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from exc
 
 
 class BaseEmbeddingTool:
@@ -102,11 +122,14 @@ class GoshTool(BaseEmbeddingTool):
     def __init__(self, config: str | GoshConfig = "normal", *,
                  dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
+                 kernel_backend: str | None = None,
                  hierarchy_cache: HierarchyCache | None = None):
         cfg = get_config(config) if isinstance(config, str) else config
         cfg = cfg.scaled(epoch_scale, dim=dim)
         if seed is not None:
             cfg = cfg.with_(seed=seed)
+        if kernel_backend is not None:
+            cfg = cfg.with_(kernel_backend=kernel_backend)
         cfg.validate()
         self.config = cfg
         self.device = device
@@ -118,8 +141,9 @@ class GoshTool(BaseEmbeddingTool):
     def describe(self) -> str:
         cfg = self.config
         coarse = ("MultiEdgeCollapse" if cfg.use_coarsening else "no coarsening")
+        backend = "" if cfg.kernel_backend == "reference" else f", {cfg.kernel_backend} kernels"
         return (f"GOSH {cfg.name}: p={cfg.smoothing_ratio}, lr={cfg.learning_rate}, "
-                f"e={cfg.epochs}, {coarse} (GPU, multilevel)")
+                f"e={cfg.epochs}, {coarse}{backend} (GPU, multilevel)")
 
     def prepare(self, graph: CSRGraph) -> None:
         """Pre-build (and cache) the coarsening hierarchy for ``graph``.
@@ -198,9 +222,11 @@ class VerseTool(BaseEmbeddingTool):
 
     def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
+                 kernel_backend: str | None = None,
                  epochs: int = 600, learning_rate: float = 0.045,
                  similarity: str = "adjacency", **config_overrides):
-        del device  # CPU-only tool; accepted for registry uniformity.
+        _check_ignored_kernel_backend(kernel_backend)
+        del device, kernel_backend  # CPU-only tool; accepted for registry uniformity.
         self.config = VerseConfig(
             dim=dim if dim is not None else VerseConfig.dim,
             epochs=max(1, int(epochs * epoch_scale)),
@@ -238,8 +264,10 @@ class MileTool(BaseEmbeddingTool):
 
     def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
+                 kernel_backend: str | None = None,
                  base_epochs: int = 200, **config_overrides):
-        del device  # CPU-only tool; accepted for registry uniformity.
+        _check_ignored_kernel_backend(kernel_backend)
+        del device, kernel_backend  # CPU-only tool; accepted for registry uniformity.
         self.config = MileConfig(
             dim=dim if dim is not None else MileConfig.dim,
             base_epochs=max(1, int(base_epochs * epoch_scale)),
@@ -274,7 +302,10 @@ class GraphViteTool(BaseEmbeddingTool):
 
     def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
+                 kernel_backend: str | None = None,
                  epochs: int = 600, learning_rate: float = 0.05, **config_overrides):
+        _check_ignored_kernel_backend(kernel_backend)
+        del kernel_backend  # episodic trainer has its own loop; registry uniformity.
         self.device = device
         self.config = GraphViteConfig(
             dim=dim if dim is not None else GraphViteConfig.dim,

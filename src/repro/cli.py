@@ -66,8 +66,12 @@ def _resolve_tool(args: argparse.Namespace):
     device = _make_device(args.device_memory_mb)
     try:
         return get_tool(name, dim=args.dim, epoch_scale=args.epoch_scale,
-                        device=device, seed=args.seed)
+                        device=device, seed=args.seed,
+                        kernel_backend=args.kernel_backend)
     except UnknownToolError as exc:
+        raise SystemExit(str(exc)) from exc
+    except ValueError as exc:
+        # e.g. an unregistered --kernel-backend name
         raise SystemExit(str(exc)) from exc
 
 
@@ -164,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(shorthand for --tool gosh-<config>)")
         p.add_argument("--device-memory-mb", type=float, default=None,
                        help="simulated device memory (default: Titan X, 12 GB)")
+        p.add_argument("--kernel-backend", default=None, metavar="NAME",
+                       help="kernel backend for the GOSH update kernels: "
+                            "reference (loop-based oracle, default) | vectorized "
+                            "(whole-epoch batched ops, ~10x faster); "
+                            "third-party backends registered via "
+                            "repro.gpu.register_backend are accepted by name")
 
     p_embed = sub.add_parser("embed", help="embed a graph and save the matrix as .npy")
     add_common(p_embed)

@@ -38,6 +38,10 @@ class GoshConfig:
     * ``small_dim_mode`` — the Section 3.1.1 warp-packing switch.
     * ``negative_power`` — exponent of the degree-based noise distribution
       (0 = uniform, the paper's choice).
+    * ``kernel_backend`` — which kernel layer executes the updates:
+      ``"reference"`` (loop-based oracle, default) or ``"vectorized"``
+      (whole-epoch batched ops); used by both the in-memory and the
+      partitioned large-graph trainers.
     """
 
     name: str = "normal"
@@ -54,6 +58,7 @@ class GoshConfig:
     use_parallel_coarsening: bool = True
     small_dim_mode: bool = True
     negative_power: float = 0.0
+    kernel_backend: str = "reference"
     seed: int = 0
     # Large-graph engine knobs (Section 3.3 defaults).
     positive_batch_per_vertex: int = 5   # B
@@ -90,6 +95,13 @@ class GoshConfig:
             raise ValueError("resident_submatrices (P_GPU) must be >= 2")
         if self.resident_sample_pools < 1:
             raise ValueError("resident_sample_pools (S_GPU) must be >= 1")
+        # Imported here to keep the config module free of gpu imports at
+        # module load; the registry is the source of truth for valid names.
+        from ..gpu.backends import UnknownBackendError, get_backend
+        try:
+            get_backend(self.kernel_backend)
+        except UnknownBackendError as exc:
+            raise ValueError(str(exc)) from exc
 
 
 #: Table 3 rows.

@@ -124,6 +124,7 @@ class GoshEmbedder:
             learning_rate=cfg.learning_rate,
             lr_decay_floor=cfg.learning_rate_decay_floor,
             kernel="optimized",
+            backend=cfg.kernel_backend,
             small_dim_mode=cfg.small_dim_mode,
             seed=cfg.seed,
             device=self.device,
@@ -138,6 +139,7 @@ class GoshEmbedder:
                 learning_rate=cfg.learning_rate,
                 lr_decay_floor=cfg.learning_rate_decay_floor,
                 small_dim_mode=cfg.small_dim_mode,
+                kernel_backend=cfg.kernel_backend,
                 seed=cfg.seed,
             ),
         )

@@ -17,8 +17,8 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.samplers import NegativeSampler, PositiveSampler
+from ..gpu.backends import KernelBackend, get_backend
 from ..gpu.device import SimulatedDevice
-from ..gpu.kernels import train_epoch_naive, train_epoch_optimized
 from ..gpu.warp import WarpConfig
 from .epochs import per_epoch_learning_rate
 
@@ -61,6 +61,11 @@ class LevelTrainer:
     kernel:
         ``"optimized"`` (staged, the GOSH kernel) or ``"naive"`` (per-sample
         global traffic, the Figure 4 reference point).
+    backend:
+        Kernel backend executing the epochs: a registered name
+        (``"reference"`` — loop-based oracle, the default — or
+        ``"vectorized"`` — whole-epoch batched ops) or any object
+        implementing :class:`~repro.gpu.backends.KernelBackend`.
     device:
         Optional :class:`SimulatedDevice` used for memory accounting and the
         simulated cost model.  When given, the embedding matrix is notionally
@@ -71,6 +76,7 @@ class LevelTrainer:
     learning_rate: float = 0.035
     lr_decay_floor: float = 1e-4
     kernel: str = "optimized"
+    backend: str | KernelBackend = "reference"
     small_dim_mode: bool = True
     seed: int = 0
     device: SimulatedDevice | None = None
@@ -78,6 +84,7 @@ class LevelTrainer:
     def __post_init__(self) -> None:
         if self.kernel not in ("optimized", "naive"):
             raise ValueError(f"unknown kernel {self.kernel!r}")
+        self._backend = get_backend(self.backend)
 
     def train(self, graph: CSRGraph, embedding: np.ndarray, epochs: int, *,
               level: int = 0, base_lr: float | None = None,
@@ -92,7 +99,6 @@ class LevelTrainer:
         pos_sampler = PositiveSampler(graph, strategy="adjacency", seed=rng)
         neg_sampler = NegativeSampler(graph.num_vertices, seed=rng)
         warp_config = WarpConfig(dim=embedding.shape[1], small_dim_mode=self.small_dim_mode)
-        kernel_fn = train_epoch_optimized if self.kernel == "optimized" else train_epoch_naive
 
         stats = TrainingStats(level=level, epochs=epochs)
         sources = np.arange(graph.num_vertices, dtype=np.int64)
@@ -102,11 +108,9 @@ class LevelTrainer:
             lr = per_epoch_learning_rate(lr0, epoch, epochs, floor=self.lr_decay_floor)
             positives = pos_sampler.sample(sources)
             negatives = neg_sampler.sample((sources.shape[0], self.negative_samples))
-            if self.kernel == "optimized":
-                kernel_fn(embedding, sources, positives, negatives, lr,
-                          device=self.device, warp_config=warp_config)
-            else:
-                kernel_fn(embedding, sources, positives, negatives, lr, device=self.device)
+            self._backend.train_epoch(embedding, sources, positives, negatives, lr,
+                                      kernel=self.kernel, device=self.device,
+                                      warp_config=warp_config)
             dt = perf_counter() - t0
             stats.per_epoch_seconds.append(dt)
             stats.seconds += dt
@@ -117,7 +121,8 @@ class LevelTrainer:
 
 def train_level(graph: CSRGraph, embedding: np.ndarray, epochs: int, *,
                 negative_samples: int = 3, learning_rate: float = 0.035,
-                kernel: str = "optimized", small_dim_mode: bool = True,
+                kernel: str = "optimized", backend: str | KernelBackend = "reference",
+                small_dim_mode: bool = True,
                 device: SimulatedDevice | None = None, seed: int = 0,
                 level: int = 0) -> TrainingStats:
     """Functional wrapper around :class:`LevelTrainer` for one-off calls."""
@@ -125,6 +130,7 @@ def train_level(graph: CSRGraph, embedding: np.ndarray, epochs: int, *,
         negative_samples=negative_samples,
         learning_rate=learning_rate,
         kernel=kernel,
+        backend=backend,
         small_dim_mode=small_dim_mode,
         device=device,
         seed=seed,

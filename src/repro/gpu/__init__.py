@@ -1,5 +1,14 @@
-"""Simulated GPU substrate: device memory model, warp model, kernels, streams."""
+"""Simulated GPU substrate: device memory model, warp model, kernels, backends, streams."""
 
+from .backends import (
+    KernelBackend,
+    ReferenceBackend,
+    UnknownBackendError,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .device import (
     TITAN_X,
     DeviceBuffer,
@@ -10,6 +19,7 @@ from .device import (
 )
 from .kernels import (
     SigmoidTable,
+    build_index_lookup,
     sigmoid,
     train_epoch_naive,
     train_epoch_optimized,
@@ -20,6 +30,14 @@ from .streams import StreamEvent, StreamTimeline
 from .warp import WarpConfig, WarpSchedule, vertices_per_warp, warp_lane_efficiency
 
 __all__ = [
+    "KernelBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "build_index_lookup",
     "TITAN_X",
     "DeviceBuffer",
     "DeviceMemoryError",

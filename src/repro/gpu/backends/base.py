@@ -1,0 +1,73 @@
+"""The :class:`KernelBackend` protocol — the contract every kernel layer obeys.
+
+A backend bundles the two training kernels the rest of the system calls into
+one swappable object:
+
+* :meth:`KernelBackend.train_epoch` — one synchronised epoch of the in-memory
+  trainer (Algorithm 3's body), in either the ``"optimized"`` (staged) or
+  ``"naive"`` (per-sample global traffic) variant.
+* :meth:`KernelBackend.train_pair` — one (V^a, V^b) sub-matrix pair of the
+  large-graph engine (Section 3.3).
+
+Both methods mutate their embedding arrays in place and must honour the
+epoch-synchronisation semantics of the paper: no sample round may observe
+source vectors from a later round.  Backends may differ in *conflict
+resolution* for concurrently-sampled vertices (scatter-add accumulation vs
+deterministic last-writer-wins) and in sigmoid evaluation (exact vs lookup
+table); the kernel-parity test suite pins how far the results may diverge
+(see ``tests/gpu/test_kernel_backends.py`` for the documented tolerances).
+
+Backends must also keep the simulated-device cost accounting identical — the
+:class:`~repro.gpu.device.SimulatedDevice` models the *paper's* GPU, not the
+host, so swapping backends changes wall-clock, never modelled work.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..device import SimulatedDevice
+from ..warp import WarpConfig
+
+__all__ = ["KernelBackend", "EPOCH_KERNELS"]
+
+#: The two epoch-kernel variants of Figure 4 every backend must provide.
+EPOCH_KERNELS = ("optimized", "naive")
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Uniform interface over the loop-based and batched kernel layers."""
+
+    #: Registry name ("reference", "vectorized", …).
+    name: str
+
+    def train_epoch(self, embedding: np.ndarray, sources: np.ndarray,
+                    positives: np.ndarray, negatives: np.ndarray, lr: float, *,
+                    kernel: str = "optimized",
+                    device: SimulatedDevice | None = None,
+                    warp_config: WarpConfig | None = None) -> None:
+        """Run one synchronised epoch over ``embedding`` in place.
+
+        ``kernel`` selects the ``"optimized"`` (source-staged) or ``"naive"``
+        variant; ``sources`` must be unique for the optimized variant.
+        """
+        ...
+
+    def train_pair(self, part_a: np.ndarray, part_b: np.ndarray,
+                   sub_a: np.ndarray, sub_b: np.ndarray,
+                   pos_src: np.ndarray, pos_dst: np.ndarray,
+                   ns: int, lr: float, rng: np.random.Generator, *,
+                   device: SimulatedDevice | None = None,
+                   warp_config: WarpConfig | None = None,
+                   index_a: np.ndarray | None = None,
+                   index_b: np.ndarray | None = None) -> None:
+        """Process one sub-matrix pair of the large-graph engine in place.
+
+        ``index_a``/``index_b`` are optional pre-built global→local lookup
+        arrays (one partition-wide array may serve as both); backends fall
+        back to building them per call when omitted.
+        """
+        ...

@@ -1,0 +1,54 @@
+"""The ``"reference"`` backend — the original loop-based kernels, unchanged.
+
+This backend is a thin adapter over :mod:`repro.gpu.kernels`: chunked source
+staging, exact ``float64`` sigmoid, and ``np.add.at`` scatter-adds (the
+benign-race accumulation semantics of the paper's GPU kernels).  It is the
+semantic oracle the ``"vectorized"`` backend is tested against, and the right
+choice when bit-stable, accumulate-on-conflict updates matter more than
+throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device import SimulatedDevice
+from ..warp import WarpConfig
+from ..kernels import train_epoch_naive, train_epoch_optimized, train_pair_kernel
+from .base import EPOCH_KERNELS
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend:
+    """Loop-based kernels (chunked staging, exact sigmoid, scatter-add)."""
+
+    name = "reference"
+
+    def train_epoch(self, embedding: np.ndarray, sources: np.ndarray,
+                    positives: np.ndarray, negatives: np.ndarray, lr: float, *,
+                    kernel: str = "optimized",
+                    device: SimulatedDevice | None = None,
+                    warp_config: WarpConfig | None = None) -> None:
+        if kernel not in EPOCH_KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; options: {', '.join(EPOCH_KERNELS)}")
+        if kernel == "optimized":
+            train_epoch_optimized(embedding, sources, positives, negatives, lr,
+                                  device=device, warp_config=warp_config)
+        else:
+            train_epoch_naive(embedding, sources, positives, negatives, lr, device=device)
+
+    def train_pair(self, part_a: np.ndarray, part_b: np.ndarray,
+                   sub_a: np.ndarray, sub_b: np.ndarray,
+                   pos_src: np.ndarray, pos_dst: np.ndarray,
+                   ns: int, lr: float, rng: np.random.Generator, *,
+                   device: SimulatedDevice | None = None,
+                   warp_config: WarpConfig | None = None,
+                   index_a: np.ndarray | None = None,
+                   index_b: np.ndarray | None = None) -> None:
+        train_pair_kernel(part_a, part_b, sub_a, sub_b, pos_src, pos_dst,
+                          ns, lr, rng, device=device, warp_config=warp_config,
+                          index_a=index_a, index_b=index_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}()"

@@ -36,6 +36,7 @@ __all__ = [
     "train_epoch_optimized",
     "train_epoch_naive",
     "train_pair_kernel",
+    "build_index_lookup",
 ]
 
 
@@ -53,13 +54,13 @@ class SigmoidTable:
     (inputs are clipped to ``[-bound, bound]``).
     """
 
-    def __init__(self, bound: float = 6.0, size: int = 1024):
+    def __init__(self, bound: float = 6.0, size: int = 1024, dtype=np.float64):
         if bound <= 0 or size < 2:
             raise ValueError("bound must be positive and size >= 2")
         self.bound = float(bound)
         self.size = int(size)
         xs = np.linspace(-bound, bound, size)
-        self.table = sigmoid(xs)
+        self.table = np.asarray(sigmoid(xs), dtype=dtype)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         clipped = np.clip(x, -self.bound, self.bound)
@@ -154,11 +155,8 @@ def train_epoch_optimized(embedding: np.ndarray, sources: np.ndarray,
         received = embedding[chunk] - original
         embedding[chunk] = staged + received
 
-    if device is not None:
-        dim = embedding.shape[1]
-        cfg = warp_config or WarpConfig(dim=dim)
-        work = num_sources * (1 + ns) * dim
-        device.record_kernel(work, efficiency=cfg.lane_efficiency)
+    record_epoch_cost(device, "optimized", num_sources, ns, embedding.shape[1],
+                      warp_config=warp_config)
 
 
 def train_epoch_naive(embedding: np.ndarray, sources: np.ndarray,
@@ -191,12 +189,87 @@ def train_epoch_naive(embedding: np.ndarray, sources: np.ndarray,
         embedding[srcs] = new_src                        # global write every round
         np.add.at(embedding, samples, new_src * scores[:, None])
 
-    if device is not None:
-        dim = embedding.shape[1]
+    record_epoch_cost(device, "naive", sources.shape[0], ns, embedding.shape[1])
+
+
+def build_index_lookup(part: np.ndarray, size: int | None = None) -> np.ndarray:
+    """Global-id → local-row lookup array for a sub-matrix part.
+
+    ``lookup[g] == i`` iff ``part[i] == g``; ids outside ``part`` map to
+    ``-1``.  This replaces the per-call Python ``dict`` index maps the pair
+    kernel used to build: the array is built once per partition (the
+    large-graph scheduler caches one global-sized array per
+    :class:`~repro.graph.partition.VertexPartition`) and reused by every
+    kernel launch of a rotation.
+    """
+    part = np.asarray(part, dtype=np.int64)
+    if size is None:
+        size = int(part.max()) + 1 if part.size else 0
+    lookup = np.full(size, -1, dtype=np.int64)
+    lookup[part] = np.arange(part.shape[0], dtype=np.int64)
+    return lookup
+
+
+def resolve_pair_locals(pos_src: np.ndarray, pos_dst: np.ndarray,
+                        part_a: np.ndarray, part_b: np.ndarray,
+                        index_a: np.ndarray | None,
+                        index_b: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
+    """Map global positive-pair ids to local sub-matrix rows (both backends).
+
+    Ids outside the parts raise ``KeyError`` — the contract the per-call
+    ``dict`` maps used to enforce.  The check is a round-trip
+    (``part[local] == global``) rather than a ``>= 0`` test because the
+    scheduler passes one *partition-wide* lookup array, in which an id from
+    the wrong part still resolves to a non-negative row — of the wrong
+    sub-matrix — and would otherwise corrupt it silently.
+    """
+    if index_a is None:
+        index_a = build_index_lookup(part_a)
+    if index_b is None:
+        index_b = index_a if part_b is part_a else build_index_lookup(part_b)
+    for glob, lookup, name in ((pos_src, index_a, "pos_src"), (pos_dst, index_b, "pos_dst")):
+        if glob.size and (int(glob.min()) < 0 or int(glob.max()) >= lookup.shape[0]):
+            raise KeyError(f"{name}: positive-pair ids outside the lookup range")
+    local_src = index_a[pos_src].astype(np.int64, copy=False)
+    local_dst = index_b[pos_dst].astype(np.int64, copy=False)
+    for local, glob, part, name in ((local_src, pos_src, part_a, "pos_src/part_a"),
+                                    (local_dst, pos_dst, part_b, "pos_dst/part_b")):
+        if local.size and (
+                (local < 0).any() or int(local.max()) >= part.shape[0]
+                or not np.array_equal(part[local], glob)):
+            raise KeyError(f"{name}: positive-pair ids outside the resident part")
+    return local_src, local_dst
+
+
+def record_epoch_cost(device: SimulatedDevice | None, kernel: str,
+                      num_sources: int, ns: int, dim: int, *,
+                      warp_config: WarpConfig | None = None) -> None:
+    """Simulated-device accounting for one epoch-kernel launch.
+
+    Shared by every backend: the device prices the *paper's* GPU, so the
+    modelled work must not depend on which host implementation ran.
+    """
+    if device is None:
+        return
+    if kernel == "optimized":
+        cfg = warp_config or WarpConfig(dim=dim)
+        device.record_kernel(num_sources * (1 + ns) * dim, efficiency=cfg.lane_efficiency)
+    else:
         # Naive kernel: uncoalesced global traffic modelled as ~3x the work at
         # the efficiency of one lane per element.
-        work = sources.shape[0] * (1 + ns) * dim * 3
-        device.record_kernel(work, efficiency=min(1.0, dim / 32) * 0.5)
+        device.record_kernel(num_sources * (1 + ns) * dim * 3,
+                             efficiency=min(1.0, dim / 32) * 0.5)
+
+
+def record_pair_cost(device: SimulatedDevice | None, num_positives: int,
+                     num_sources: int, ns: int, dim: int, *,
+                     warp_config: WarpConfig | None = None) -> None:
+    """Simulated-device accounting for one pair-kernel launch (all backends)."""
+    if device is None:
+        return
+    cfg = warp_config or WarpConfig(dim=dim)
+    device.record_kernel((num_positives + num_sources * ns) * dim,
+                         efficiency=cfg.lane_efficiency)
 
 
 def train_pair_kernel(part_a: np.ndarray, part_b: np.ndarray,
@@ -205,6 +278,8 @@ def train_pair_kernel(part_a: np.ndarray, part_b: np.ndarray,
                       ns: int, lr: float, rng: np.random.Generator, *,
                       device: SimulatedDevice | None = None,
                       warp_config: WarpConfig | None = None,
+                      index_a: np.ndarray | None = None,
+                      index_b: np.ndarray | None = None,
                       sig=sigmoid) -> None:
     """The large-graph kernel for one (V^a, V^b) sub-matrix pair (Section 3.3).
 
@@ -213,16 +288,17 @@ def train_pair_kernel(part_a: np.ndarray, part_b: np.ndarray,
     pairs ``(pos_src, pos_dst)`` are given in *global* ids (drawn on the host
     by the SampleManager); negative samples are drawn here, "on the device",
     uniformly from the partner part — exactly the split the paper uses.
+
+    ``index_a``/``index_b`` are optional pre-built global→local lookup arrays
+    (see :func:`build_index_lookup`); passing them skips the per-call lookup
+    construction.  A single partition-wide array may serve as both.
     """
     if pos_src.shape[0] != pos_dst.shape[0]:
         raise ValueError("pos_src and pos_dst must have equal length")
     # Map global ids to positions inside the resident sub-matrices.
-    index_in_a = {int(v): i for i, v in enumerate(part_a)}
-    index_in_b = {int(v): i for i, v in enumerate(part_b)}
+    local_src, local_dst = resolve_pair_locals(pos_src, pos_dst, part_a, part_b,
+                                               index_a, index_b)
     same_part = sub_a is sub_b
-
-    local_src = np.array([index_in_a[int(v)] for v in pos_src], dtype=np.int64)
-    local_dst = np.array([index_in_b[int(v)] for v in pos_dst], dtype=np.int64)
 
     # Positive updates.
     if local_src.size:
@@ -246,9 +322,6 @@ def train_pair_kernel(part_a: np.ndarray, part_b: np.ndarray,
             np.add.at(sub_a, neg_sources, dst_vecs * scores[:, None])
             np.add.at(sub_b, neg_targets, new_src * scores[:, None])
 
-    if device is not None:
-        dim = sub_a.shape[1]
-        cfg = warp_config or WarpConfig(dim=dim)
-        work = (local_src.shape[0] + part_a.shape[0] * ns) * dim
-        device.record_kernel(work, efficiency=cfg.lane_efficiency)
+    record_pair_cost(device, local_src.shape[0], part_a.shape[0], ns, sub_a.shape[1],
+                     warp_config=warp_config)
     _ = same_part  # same-part pairs need no special casing beyond shared storage

@@ -48,6 +48,23 @@ class VertexPartition:
         m[self.parts[k]] = True
         return m
 
+    def global_to_local(self) -> np.ndarray:
+        """Global-id → row-within-its-part lookup array, built once and cached.
+
+        ``g2l[v]`` is the row of vertex ``v`` inside the sub-matrix of the
+        part that owns it; because parts are disjoint one array serves every
+        (V^a, V^b) pair of a rotation.  The cache is keyed to this partition
+        instance — the pair kernels used to rebuild an equivalent Python
+        ``dict`` on every call.
+        """
+        cached = getattr(self, "_global_to_local", None)
+        if cached is None:
+            cached = np.empty(self.num_vertices, dtype=np.int64)
+            for part in self.parts:
+                cached[part] = np.arange(part.shape[0], dtype=np.int64)
+            self._global_to_local = cached
+        return cached
+
     def validate(self) -> None:
         """Check disjointness and coverage; raise ``ValueError`` otherwise."""
         seen = np.zeros(self.num_vertices, dtype=np.int64)

@@ -24,8 +24,8 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.partition import compute_num_parts, contiguous_partition
+from ..gpu.backends import get_backend
 from ..gpu.device import SimulatedDevice
-from ..gpu.kernels import train_pair_kernel
 from ..gpu.streams import StreamTimeline
 from ..gpu.warp import WarpConfig
 from .gpu_state import GPUState
@@ -46,6 +46,7 @@ class LargeGraphConfig:
     learning_rate: float = 0.035
     lr_decay_floor: float = 1e-4
     small_dim_mode: bool = True
+    kernel_backend: str = "reference"    # pair-kernel layer (see repro.gpu.backends)
     seed: int = 0
     min_parts: int | None = None         # force K >= min_parts (tests / figure 3)
 
@@ -102,6 +103,10 @@ class LargeGraphTrainer:
                          device=self.device, num_bins=cfg.resident_submatrices)
         warp_config = WarpConfig(dim=dim, small_dim_mode=cfg.small_dim_mode)
         stats = LargeGraphStats(num_parts=k, rotations=rotations)
+        backend = get_backend(cfg.kernel_backend)
+        # One partition-wide global→local lookup array, built once and cached
+        # on the partition, replaces the per-kernel-call dict index maps.
+        g2l = partition.global_to_local()
 
         order = inside_out_order(k)
         t0 = perf_counter()
@@ -124,16 +129,18 @@ class LargeGraphTrainer:
                 in_a = partition.part_of[pool.src] == a
                 t_kernel = perf_counter()
                 if np.any(in_a):
-                    train_pair_kernel(
+                    backend.train_pair(
                         partition.parts[a], partition.parts[b], sub_a, sub_b,
                         pool.src[in_a], pool.dst[in_a], cfg.negative_samples, lr, rng,
                         device=self.device, warp_config=warp_config,
+                        index_a=g2l, index_b=g2l,
                     )
                 if a != b and np.any(~in_a):
-                    train_pair_kernel(
+                    backend.train_pair(
                         partition.parts[b], partition.parts[a], sub_b, sub_a,
                         pool.src[~in_a], pool.dst[~in_a], cfg.negative_samples, lr, rng,
                         device=self.device, warp_config=warp_config,
+                        index_a=g2l, index_b=g2l,
                     )
                 kernel_seconds = perf_counter() - t_kernel
                 stats.timeline.record_kernel(kernel_seconds, label=f"pair({a},{b})",

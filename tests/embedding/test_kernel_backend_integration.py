@@ -1,0 +1,184 @@
+"""Backend selection wired through the trainer, config, pipeline, API and CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import get_tool
+from repro.cli import main
+from repro.embedding import (
+    FAST,
+    NORMAL,
+    GoshEmbedder,
+    LevelTrainer,
+    embed,
+    init_embedding,
+    train_level,
+)
+from repro.gpu import DeviceSpec, SimulatedDevice, VectorizedBackend
+from repro.graph import social_community, stochastic_block_model
+from repro.large import LargeGraphConfig, LargeGraphTrainer
+
+
+class TestLevelTrainerBackend:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            LevelTrainer(backend="warp-speed")
+
+    def test_backend_instance_accepted(self, community_graph):
+        emb = init_embedding(community_graph.num_vertices, 8, 0)
+        stats = LevelTrainer(backend=VectorizedBackend(), seed=0).train(
+            community_graph, emb, 2)
+        assert stats.epochs == 2
+
+    def test_vectorized_backend_learns(self, community_graph):
+        emb = init_embedding(community_graph.num_vertices, 16, 0)
+        LevelTrainer(backend="vectorized", negative_samples=3,
+                     learning_rate=0.05, seed=0).train(community_graph, emb, 60)
+        labels = np.repeat(np.arange(4), 80)
+        rng = np.random.default_rng(0)
+        i = rng.integers(0, community_graph.num_vertices, 4000)
+        j = rng.integers(0, community_graph.num_vertices, 4000)
+        dots = np.einsum("ij,ij->i", emb[i], emb[j])
+        same = labels[i] == labels[j]
+        assert dots[same].mean() > dots[~same].mean()
+
+    def test_train_level_backend_kwarg(self, community_graph):
+        emb = init_embedding(community_graph.num_vertices, 8, 0)
+        stats = train_level(community_graph, emb, 2, backend="vectorized")
+        assert stats.epochs == 2
+
+    def test_both_kernels_run_through_vectorized(self, community_graph):
+        for kernel in ("optimized", "naive"):
+            emb = init_embedding(community_graph.num_vertices, 8, 0)
+            before = emb.copy()
+            LevelTrainer(backend="vectorized", kernel=kernel, seed=0).train(
+                community_graph, emb, 2)
+            assert not np.array_equal(emb, before)
+
+
+class TestGoshConfigBackend:
+    def test_default_is_reference(self):
+        assert NORMAL.kernel_backend == "reference"
+
+    def test_invalid_backend_fails_validation(self):
+        with pytest.raises(ValueError):
+            NORMAL.with_(kernel_backend="warp-speed").validate()
+
+    def test_pipeline_runs_vectorized(self, small_power_graph):
+        cfg = FAST.scaled(0.05, dim=16).with_(kernel_backend="vectorized")
+        result = embed(small_power_graph, cfg)
+        assert result.embedding.shape == (small_power_graph.num_vertices, 16)
+        assert len(result.level_stats) == result.num_levels
+
+    def test_pipeline_deterministic_per_backend(self, small_power_graph):
+        cfg = FAST.scaled(0.05, dim=8).with_(kernel_backend="vectorized", seed=11)
+        a = embed(small_power_graph, cfg).embedding
+        b = embed(small_power_graph, cfg).embedding
+        assert np.array_equal(a, b)
+
+    def test_backend_embeddings_numerically_close(self, small_power_graph):
+        """End-to-end parity: same config, same seed, backends agree closely.
+
+        The pipeline (coarsening, epoch distribution, sampling) is identical;
+        only kernel arithmetic differs.  Per-epoch differences compound
+        through the multilevel expansion, so the documented end-to-end bound
+        is looser than the per-kernel one: mean cosine >= 0.9.
+        """
+        base = FAST.scaled(0.1, dim=16).with_(seed=7)
+        ref = embed(small_power_graph, base).embedding
+        vec = embed(small_power_graph, base.with_(kernel_backend="vectorized")).embedding
+        cos = np.einsum("ij,ij->i", ref, vec) / (
+            np.linalg.norm(ref, axis=1) * np.linalg.norm(vec, axis=1) + 1e-12)
+        assert cos.mean() >= 0.9
+
+
+class TestLargeGraphBackend:
+    def _run(self, backend):
+        g = social_community(600, intra_degree=6, seed=4)
+        device = SimulatedDevice(spec=DeviceSpec(name="nano", memory_bytes=16 * 1024))
+        emb = init_embedding(g.num_vertices, 16, 2)
+        cfg = LargeGraphConfig(kernel_backend=backend, min_parts=3, seed=0)
+        stats = LargeGraphTrainer(device, cfg).train(g, emb, 10)
+        return emb, stats
+
+    def test_vectorized_pair_backend_runs(self):
+        emb, stats = self._run("vectorized")
+        assert stats.kernels > 0
+        assert np.all(np.isfinite(emb))
+
+    def test_backends_agree_on_large_graph_path(self):
+        ref_emb, ref_stats = self._run("reference")
+        vec_emb, vec_stats = self._run("vectorized")
+        assert ref_stats.kernels == vec_stats.kernels
+        assert ref_stats.num_parts == vec_stats.num_parts
+        # identical schedule + host sampling; only kernel arithmetic differs
+        np.testing.assert_allclose(vec_emb, ref_emb, atol=2e-2)
+
+    def test_routed_from_pipeline(self):
+        g = social_community(600, intra_degree=6, seed=4)
+        device = SimulatedDevice(spec=DeviceSpec(name="nano", memory_bytes=16 * 1024))
+        cfg = FAST.scaled(0.02, dim=16).with_(kernel_backend="vectorized")
+        result = GoshEmbedder(cfg, device=device).embed(g)
+        assert result.large_graph_stats
+
+
+class TestApiAndCli:
+    def test_get_tool_accepts_kernel_backend_for_all_builtins(self):
+        for name in ("gosh-normal", "verse", "mile", "graphvite"):
+            tool = get_tool(name, dim=8, epoch_scale=0.02, kernel_backend="vectorized")
+            assert tool is not None
+
+    def test_gosh_tool_propagates_backend(self):
+        tool = get_tool("gosh-fast", dim=8, kernel_backend="vectorized")
+        assert tool.config.kernel_backend == "vectorized"
+        assert "vectorized" in tool.describe()
+
+    def test_gosh_tool_invalid_backend_raises(self):
+        with pytest.raises(ValueError):
+            get_tool("gosh-fast", dim=8, kernel_backend="warp-speed")
+
+    def test_baselines_reject_invalid_backend_names_too(self):
+        """The baselines ignore the option but must not swallow typos."""
+        for name in ("verse", "mile", "graphvite"):
+            with pytest.raises(ValueError):
+                get_tool(name, dim=8, kernel_backend="vectorised")
+
+    def test_gosh_tool_embeds_with_vectorized(self, small_power_graph):
+        tool = get_tool("gosh-fast", dim=8, epoch_scale=0.02,
+                        kernel_backend="vectorized")
+        result = tool.embed(small_power_graph)
+        assert result.embedding.shape == (small_power_graph.num_vertices, 8)
+
+    def test_cli_kernel_backend_flag(self, tmp_path, capsys):
+        out = tmp_path / "emb.npy"
+        code = main(["embed", "com-amazon", "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "--kernel-backend", "vectorized",
+                     "-o", str(out)])
+        assert code == 0
+        assert np.load(out).shape[1] == 8
+        assert "vectorized" in capsys.readouterr().out
+
+    def test_cli_unknown_kernel_backend_exits(self):
+        with pytest.raises(SystemExit):
+            main(["embed", "com-amazon", "--kernel-backend", "warp-speed"])
+
+    def test_cli_parser_default_is_none(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["embed", "com-dblp"])
+        assert args.kernel_backend is None
+
+
+def test_quality_parity_on_sbm():
+    """Both backends must recover SBM community structure equally well."""
+    g = stochastic_block_model([60, 60, 60], p_in=0.2, p_out=0.01, seed=5)
+    labels = np.repeat(np.arange(3), 60)
+    rng = np.random.default_rng(1)
+    i = rng.integers(0, g.num_vertices, 3000)
+    j = rng.integers(0, g.num_vertices, 3000)
+    for backend in ("reference", "vectorized"):
+        emb = embed(g, NORMAL.scaled(0.1, dim=16).with_(kernel_backend=backend)).embedding
+        dots = np.einsum("ij,ij->i", emb[i], emb[j])
+        same = labels[i] == labels[j]
+        assert dots[same].mean() > dots[~same].mean(), backend

@@ -1,0 +1,194 @@
+"""Regression tests for the pair kernel's index maps.
+
+``train_pair_kernel`` used to rebuild two Python ``dict`` global→local index
+maps on every call (one per resident part, O(|part|) each, per kernel launch
+per rotation).  They were replaced by :func:`repro.gpu.build_index_lookup`
+NumPy arrays, cached partition-wide by
+:meth:`repro.graph.partition.VertexPartition.global_to_local`.  These tests
+pin that the replacement is *identical* — the old dict-based mapping is kept
+here as the oracle — and that the cached arrays agree with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import build_index_lookup, get_backend, train_pair_kernel
+from repro.gpu.kernels import sigmoid
+from repro.graph.partition import contiguous_partition
+
+
+def _dict_based_locals(part_a, part_b, pos_src, pos_dst):
+    """The pre-refactor mapping, verbatim: per-call dicts + list comprehensions."""
+    index_in_a = {int(v): i for i, v in enumerate(part_a)}
+    index_in_b = {int(v): i for i, v in enumerate(part_b)}
+    local_src = np.array([index_in_a[int(v)] for v in pos_src], dtype=np.int64)
+    local_dst = np.array([index_in_b[int(v)] for v in pos_dst], dtype=np.int64)
+    return local_src, local_dst
+
+
+def _dict_based_train_pair(part_a, part_b, sub_a, sub_b, pos_src, pos_dst,
+                           ns, lr, rng):
+    """The pre-refactor kernel body (dict index maps + np.add.at), verbatim."""
+    local_src, local_dst = _dict_based_locals(part_a, part_b, pos_src, pos_dst)
+    if local_src.size:
+        src_vecs = sub_a[local_src]
+        dst_vecs = sub_b[local_dst]
+        scores = (1.0 - sigmoid(np.einsum("ij,ij->i", src_vecs, dst_vecs))) * lr
+        new_src = src_vecs + dst_vecs * scores[:, None]
+        np.add.at(sub_a, local_src, dst_vecs * scores[:, None])
+        np.add.at(sub_b, local_dst, new_src * scores[:, None])
+    if ns > 0 and part_a.shape[0] and part_b.shape[0]:
+        neg_sources = np.arange(part_a.shape[0], dtype=np.int64)
+        for _ in range(ns):
+            neg_targets = rng.integers(0, part_b.shape[0], size=neg_sources.shape[0])
+            src_vecs = sub_a[neg_sources]
+            dst_vecs = sub_b[neg_targets]
+            scores = (0.0 - sigmoid(np.einsum("ij,ij->i", src_vecs, dst_vecs))) * lr
+            new_src = src_vecs + dst_vecs * scores[:, None]
+            np.add.at(sub_a, neg_sources, dst_vecs * scores[:, None])
+            np.add.at(sub_b, neg_targets, new_src * scores[:, None])
+
+
+def _random_pair(seed=0, na=150, nb=130, d=12, pairs=600):
+    rng = np.random.default_rng(seed)
+    # Non-contiguous, shuffled global ids exercise the lookup for real.
+    ids = rng.permutation(1000)[: na + nb].astype(np.int64)
+    part_a, part_b = ids[:na], ids[na:]
+    sub_a = ((rng.random((na, d)) - 0.5) / d).astype(np.float32)
+    sub_b = ((rng.random((nb, d)) - 0.5) / d).astype(np.float32)
+    pos_src = part_a[rng.integers(0, na, pairs)]
+    pos_dst = part_b[rng.integers(0, nb, pairs)]
+    return part_a, part_b, sub_a, sub_b, pos_src, pos_dst
+
+
+class TestIndexLookup:
+    def test_lookup_matches_dict(self):
+        part_a, part_b, _, _, pos_src, pos_dst = _random_pair()
+        want_src, want_dst = _dict_based_locals(part_a, part_b, pos_src, pos_dst)
+        got_src = build_index_lookup(part_a)[pos_src]
+        got_dst = build_index_lookup(part_b)[pos_dst]
+        assert np.array_equal(got_src, want_src)
+        assert np.array_equal(got_dst, want_dst)
+
+    def test_ids_outside_part_map_to_minus_one(self):
+        lookup = build_index_lookup(np.array([3, 7, 5], dtype=np.int64))
+        assert lookup[3] == 0 and lookup[7] == 1 and lookup[5] == 2
+        assert lookup[0] == -1 and lookup[4] == -1
+
+    def test_empty_part(self):
+        assert build_index_lookup(np.zeros(0, dtype=np.int64)).shape == (0,)
+
+    def test_explicit_size(self):
+        lookup = build_index_lookup(np.array([1], dtype=np.int64), size=10)
+        assert lookup.shape == (10,)
+        assert lookup[1] == 0 and lookup[9] == -1
+
+
+class TestPartitionGlobalToLocal:
+    def test_matches_per_part_dicts(self):
+        partition = contiguous_partition(97, 4)
+        g2l = partition.global_to_local()
+        for part in partition.parts:
+            index = {int(v): i for i, v in enumerate(part)}
+            for v in part:
+                assert g2l[v] == index[int(v)]
+
+    def test_cached_per_partition_instance(self):
+        partition = contiguous_partition(50, 3)
+        assert partition.global_to_local() is partition.global_to_local()
+
+
+class TestTrainPairRegression:
+    def test_identical_results_before_and_after(self):
+        """Array-based kernel == the old dict-based kernel, bit for bit."""
+        part_a, part_b, a0, b0, pos_src, pos_dst = _random_pair()
+        old_a, old_b = a0.copy(), b0.copy()
+        new_a, new_b = a0.copy(), b0.copy()
+        _dict_based_train_pair(part_a, part_b, old_a, old_b, pos_src, pos_dst,
+                               3, 0.035, np.random.default_rng(11))
+        train_pair_kernel(part_a, part_b, new_a, new_b, pos_src, pos_dst,
+                          3, 0.035, np.random.default_rng(11))
+        assert np.array_equal(new_a, old_a)
+        assert np.array_equal(new_b, old_b)
+
+    def test_identical_with_prebuilt_partition_cache(self):
+        """Passing the scheduler's cached partition-wide array changes nothing."""
+        partition = contiguous_partition(280, 2)
+        part_a, part_b = partition.parts[0], partition.parts[1]
+        rng = np.random.default_rng(3)
+        d = 8
+        a0 = ((rng.random((part_a.shape[0], d)) - 0.5) / d).astype(np.float32)
+        b0 = ((rng.random((part_b.shape[0], d)) - 0.5) / d).astype(np.float32)
+        pos_src = part_a[rng.integers(0, part_a.shape[0], 500)]
+        pos_dst = part_b[rng.integers(0, part_b.shape[0], 500)]
+        g2l = partition.global_to_local()
+
+        plain_a, plain_b = a0.copy(), b0.copy()
+        cached_a, cached_b = a0.copy(), b0.copy()
+        train_pair_kernel(part_a, part_b, plain_a, plain_b, pos_src, pos_dst,
+                          2, 0.03, np.random.default_rng(5))
+        train_pair_kernel(part_a, part_b, cached_a, cached_b, pos_src, pos_dst,
+                          2, 0.03, np.random.default_rng(5),
+                          index_a=g2l, index_b=g2l)
+        assert np.array_equal(plain_a, cached_a)
+        assert np.array_equal(plain_b, cached_b)
+
+    def test_out_of_part_ids_still_raise_key_error(self):
+        """The dict maps raised KeyError on foreign ids; the arrays must too
+        (a silent -1 lookup would wrap to the last row and corrupt it)."""
+        part_a, part_b, a0, b0, pos_src, pos_dst = _random_pair()
+        # An id below part_b's max that belongs to neither part: the lookup
+        # array covers it, so it resolves to -1 (not IndexError) — the guard
+        # must turn that into the old KeyError.
+        foreign = np.setdiff1d(np.arange(int(part_b.max())),
+                               np.concatenate([part_a, part_b]))[:1]
+        bad_dst = pos_dst.copy()
+        bad_dst[0] = foreign[0]
+        for backend in (get_backend("reference"), get_backend("vectorized")):
+            with pytest.raises(KeyError):
+                backend.train_pair(part_a, part_b, a0.copy(), b0.copy(),
+                                   pos_src, bad_dst, 1, 0.02,
+                                   np.random.default_rng(0))
+
+    def test_foreign_ids_beyond_lookup_range_raise_key_error(self):
+        """Ids past the lookup array's end (and negative ids) must raise the
+        documented KeyError, not a bare IndexError from the fancy index."""
+        part = np.array([0, 1, 2], dtype=np.int64)
+        sub = np.zeros((3, 4), dtype=np.float32)
+        for bad in (np.array([9], dtype=np.int64), np.array([-3], dtype=np.int64)):
+            for backend in (get_backend("reference"), get_backend("vectorized")):
+                with pytest.raises(KeyError):
+                    backend.train_pair(part, part, sub.copy(), sub.copy(),
+                                       np.array([1], dtype=np.int64), bad,
+                                       0, 0.02, np.random.default_rng(0))
+
+    def test_cross_part_ids_raise_with_partition_wide_lookup(self):
+        """A partition-wide g2l maps every vertex somewhere, so a cross-part
+        id resolves to a non-negative row of the *wrong* sub-matrix; the
+        round-trip check must still raise the dict-era KeyError."""
+        partition = contiguous_partition(10, 2)
+        g2l = partition.global_to_local()
+        part_a = partition.parts[0]
+        sub = np.zeros((5, 4), dtype=np.float32)
+        # pos_dst id 7 lives in part 1, but the kernel is invoked for (a, a).
+        for backend in (get_backend("reference"), get_backend("vectorized")):
+            with pytest.raises(KeyError):
+                backend.train_pair(part_a, part_a, sub, sub,
+                                   np.array([1], dtype=np.int64),
+                                   np.array([7], dtype=np.int64),
+                                   0, 0.02, np.random.default_rng(0),
+                                   index_a=g2l, index_b=g2l)
+
+    def test_empty_positive_pairs(self):
+        part_a, part_b, a0, b0, _, _ = _random_pair()
+        empty = np.zeros(0, dtype=np.int64)
+        old_a, old_b = a0.copy(), b0.copy()
+        new_a, new_b = a0.copy(), b0.copy()
+        _dict_based_train_pair(part_a, part_b, old_a, old_b, empty, empty,
+                               2, 0.02, np.random.default_rng(1))
+        train_pair_kernel(part_a, part_b, new_a, new_b, empty, empty,
+                          2, 0.02, np.random.default_rng(1))
+        assert np.array_equal(new_a, old_a)
+        assert np.array_equal(new_b, old_b)

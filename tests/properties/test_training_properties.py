@@ -7,7 +7,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.embedding import distribute_epochs, per_epoch_learning_rate
 from repro.eval.metrics import auc_roc
-from repro.gpu import sigmoid, update_embedding_pair
+from repro.gpu import get_backend, sigmoid, update_embedding_pair
+from repro.graph import powerlaw_cluster
+from repro.graph.samplers import NegativeSampler, PositiveSampler
 from repro.large import inside_out_order, validate_rotation_cover
 
 
@@ -95,3 +97,75 @@ class TestRotationProperties:
         order = inside_out_order(k)
         assert validate_rotation_cover(order, k)
         assert len(order) == k * (k + 1) // 2
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_inside_out_follows_paper_recurrence(self, k):
+        """The order is exactly the paper's recurrence from (0, 0)."""
+        order = inside_out_order(k)
+        assert order[0] == (0, 0)
+        for (a1, b1), (a2, b2) in zip(order, order[1:]):
+            if a1 > b1:
+                assert (a2, b2) == (a1, b1 + 1)
+            else:
+                assert (a2, b2) == (a1 + 1, 0)
+
+
+class TestNegativeSamplerProperties:
+    @given(st.integers(1, 5000), st.integers(0, 64), st.integers(0, 8),
+           st.integers(0, 10_000))
+    @settings(max_examples=120, deadline=None)
+    def test_shape_and_range(self, num_vertices, rows, ns, seed):
+        sampler = NegativeSampler(num_vertices, seed=seed)
+        out = sampler.sample((rows, ns))
+        assert out.shape == (rows, ns)
+        if out.size:
+            assert out.min() >= 0
+            assert out.max() < num_vertices
+
+    @given(st.integers(1, 1000), st.integers(1, 200), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_flat_shape_and_range(self, num_vertices, count, seed):
+        out = NegativeSampler(num_vertices, seed=seed).sample(count)
+        assert out.shape == (count,)
+        assert out.min() >= 0 and out.max() < num_vertices
+
+    @given(st.integers(2, 500), st.integers(1, 100), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_restrict_to_only_yields_members(self, num_vertices, count, seed):
+        rng = np.random.default_rng(seed)
+        allowed = rng.choice(num_vertices, size=max(1, num_vertices // 3), replace=False)
+        out = NegativeSampler(num_vertices, seed=seed).sample(count, restrict_to=allowed)
+        assert np.isin(out, allowed).all()
+
+
+class TestEpochRowBoundsProperties:
+    """One trainer epoch must never write rows outside the graph's vertex range.
+
+    The embedding matrix is over-allocated with guard rows filled with a
+    sentinel; after a full epoch through either backend the guard rows must
+    be bit-identical (no out-of-range write) and every in-range row finite.
+    """
+
+    @given(st.integers(20, 120), st.integers(2, 16), st.integers(0, 5),
+           st.sampled_from(["reference", "vectorized"]),
+           st.sampled_from(["optimized", "naive"]),
+           st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_epoch_stays_inside_vertex_range(self, n, dim, ns, backend_name,
+                                             kernel, seed):
+        graph = powerlaw_cluster(n, m=2, seed=seed % 17)
+        rng = np.random.default_rng(seed)
+        guard_rows = 7
+        sentinel = np.float32(123.25)
+        embedding = ((rng.random((n + guard_rows, dim)) - 0.5) / dim).astype(np.float32)
+        embedding[n:] = sentinel
+
+        sources = np.arange(n, dtype=np.int64)
+        positives = PositiveSampler(graph, seed=rng).sample(sources)
+        negatives = NegativeSampler(n, seed=rng).sample((n, ns))
+        get_backend(backend_name).train_epoch(
+            embedding, sources, positives, negatives, 0.05, kernel=kernel)
+
+        assert np.all(embedding[n:] == sentinel), "guard rows were written"
+        assert np.all(np.isfinite(embedding[:n]))
