@@ -35,7 +35,7 @@ from .registry import (
     unregister_tool,
 )
 from .result import EmbeddingResult, summarize_large_graph_stats
-from .service import EmbedRequest, EmbeddingService
+from .service import BatchFailure, EmbedRequest, EmbeddingService
 from .tools import (
     BaseEmbeddingTool,
     GoshTool,
@@ -61,6 +61,7 @@ __all__ = [
     "EmbeddingResult",
     "summarize_large_graph_stats",
     "EmbedRequest",
+    "BatchFailure",
     "EmbeddingService",
     "BaseEmbeddingTool",
     "GoshTool",

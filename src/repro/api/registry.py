@@ -151,8 +151,8 @@ def get_tool(name: str, **options) -> EmbeddingTool:
     """Instantiate the tool registered under ``name`` (case-insensitive).
 
     Keyword ``options`` are forwarded to the factory; the built-in tools all
-    accept ``dim``, ``epoch_scale``, ``device``, ``seed``, and
-    ``kernel_backend``.
+    accept ``dim``, ``epoch_scale``, ``device``, ``seed``, ``kernel_backend``,
+    and ``sampler_backend``.
     """
     _ensure_builtins()
     key = _canonical(name)

@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..eval.link_prediction import LinkPredictionResult
     from ..gpu.device import SimulatedDevice
 
-__all__ = ["EmbedRequest", "EmbeddingService"]
+__all__ = ["EmbedRequest", "BatchFailure", "EmbeddingService"]
 
 
 @dataclass
@@ -56,6 +56,26 @@ class EmbedRequest:
     classifier: str = "logistic"
 
 
+@dataclass
+class BatchFailure:
+    """Recorded in place of a result when one request of a batch fails.
+
+    Batches are isolated per request: a failing request (e.g. GraphVite's
+    expected :class:`~repro.gpu.device.DeviceMemoryError` on a graph that
+    does not fit the device) must not abort the batch or discard the results
+    that already completed.  ``error`` is the exception the tool raised.
+    Detect failures with ``isinstance(entry, BatchFailure)``.
+    """
+
+    request: EmbedRequest
+    error: Exception
+
+    @property
+    def tool(self) -> str:
+        name = self.request.tool
+        return name if isinstance(name, str) else name.name
+
+
 class EmbeddingService:
     """Batched, cached, registry-backed facade over every embedding tool."""
 
@@ -70,6 +90,7 @@ class EmbeddingService:
         self.progress = progress
         self.hierarchy_cache = HierarchyCache(max_entries=cache_entries)
         self.requests_served = 0
+        self.requests_failed = 0
         self._tools: dict[str, EmbeddingTool] = {}
 
     # ------------------------------------------------------------------ #
@@ -127,21 +148,33 @@ class EmbeddingService:
         return result
 
     def embed_batch(self, requests: Iterable[EmbedRequest],
-                    ) -> list[EmbeddingResult | "LinkPredictionResult"]:
-        """Process a batch of requests in order.
+                    ) -> list[EmbeddingResult | "LinkPredictionResult | BatchFailure"]:
+        """Process a batch of requests in order, isolating failures.
 
         Requests on the same graph share cached hierarchies, so a batch that
         sweeps GOSH configurations over one graph coarsens it exactly once.
+
+        Each request is error-isolated: a failing request (e.g. GraphVite's
+        expected ``DeviceMemoryError`` on an over-budget graph) contributes a
+        :class:`BatchFailure` entry at its position and the batch continues —
+        completed results are never discarded.  Tool *resolution* stays
+        outside the isolation: an unknown tool name or invalid backend option
+        is a programming error in the batch itself and still raises.
         """
-        results: list[EmbeddingResult | LinkPredictionResult] = []
+        results: list[EmbeddingResult | LinkPredictionResult | BatchFailure] = []
         for request in requests:
-            if request.evaluate:
-                results.append(self.evaluate(request.tool, request.graph,
-                                             seed=request.seed,
-                                             classifier=request.classifier))
-            else:
-                results.append(self.embed(request.tool, request.graph,
-                                          seed=request.seed))
+            tool = self.tool(request.tool)
+            try:
+                if request.evaluate:
+                    results.append(self.evaluate(tool, request.graph,
+                                                 seed=request.seed,
+                                                 classifier=request.classifier))
+                else:
+                    results.append(self.embed(tool, request.graph,
+                                              seed=request.seed))
+            except Exception as exc:
+                self.requests_failed += 1
+                results.append(BatchFailure(request=request, error=exc))
         return results
 
     # ------------------------------------------------------------------ #
@@ -150,6 +183,7 @@ class EmbeddingService:
     def stats(self) -> dict[str, object]:
         return {
             "requests_served": self.requests_served,
+            "requests_failed": self.requests_failed,
             "tools_resolved": sorted(self._tools),
             "hierarchy_cache": self.hierarchy_cache.stats(),
         }

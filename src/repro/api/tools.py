@@ -11,8 +11,11 @@ same construction options so the registry can build any of them uniformly:
 * ``device`` — simulated device; ignored by the CPU-only baselines.
 * ``seed`` — RNG seed (``None`` keeps the backend default).
 * ``kernel_backend`` — kernel layer for the GOSH update kernels
-  (``"reference"`` or ``"vectorized"``); accepted and ignored by the
+  (``"vectorized"`` default or ``"reference"``); accepted and ignored by the
   baselines, which have their own training loops.
+* ``sampler_backend`` — host-side sampler producing the large-graph engine's
+  positive pools (``"vectorized"`` default or ``"reference"``); accepted and
+  ignored by the baselines for the same reason.
 
 The module-level ``make_gosh_*`` factories are the lazy registration targets
 for the four named GOSH variants (see :mod:`repro.api.registry`).
@@ -33,6 +36,7 @@ from ..embedding.verse import VerseConfig, verse_embed
 from ..gpu.backends import get_backend
 from ..gpu.device import SimulatedDevice
 from ..graph.csr import CSRGraph
+from ..graph.sampler_backends import DEFAULT_SAMPLER_BACKEND, get_sampler_backend
 from .cache import HierarchyCache
 from .protocol import ProgressCallback, ProgressEvent
 from .result import EmbeddingResult
@@ -62,6 +66,16 @@ def _check_ignored_kernel_backend(name: str | None) -> None:
         return
     try:
         get_backend(name)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from exc
+
+
+def _check_ignored_sampler_backend(name: str | None) -> None:
+    """Same typo guard for the ``sampler_backend`` option (see above)."""
+    if name is None:
+        return
+    try:
+        get_sampler_backend(name)
     except KeyError as exc:
         raise ValueError(str(exc)) from exc
 
@@ -123,6 +137,7 @@ class GoshTool(BaseEmbeddingTool):
                  dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
+                 sampler_backend: str | None = None,
                  hierarchy_cache: HierarchyCache | None = None):
         cfg = get_config(config) if isinstance(config, str) else config
         cfg = cfg.scaled(epoch_scale, dim=dim)
@@ -130,6 +145,8 @@ class GoshTool(BaseEmbeddingTool):
             cfg = cfg.with_(seed=seed)
         if kernel_backend is not None:
             cfg = cfg.with_(kernel_backend=kernel_backend)
+        if sampler_backend is not None:
+            cfg = cfg.with_(sampler_backend=sampler_backend)
         cfg.validate()
         self.config = cfg
         self.device = device
@@ -141,9 +158,11 @@ class GoshTool(BaseEmbeddingTool):
     def describe(self) -> str:
         cfg = self.config
         coarse = ("MultiEdgeCollapse" if cfg.use_coarsening else "no coarsening")
-        backend = "" if cfg.kernel_backend == "reference" else f", {cfg.kernel_backend} kernels"
+        backend = f", {cfg.kernel_backend} kernels"
+        sampler = ("" if cfg.sampler_backend == DEFAULT_SAMPLER_BACKEND
+                   else f", {cfg.sampler_backend} sampler")
         return (f"GOSH {cfg.name}: p={cfg.smoothing_ratio}, lr={cfg.learning_rate}, "
-                f"e={cfg.epochs}, {coarse}{backend} (GPU, multilevel)")
+                f"e={cfg.epochs}, {coarse}{backend}{sampler} (GPU, multilevel)")
 
     def prepare(self, graph: CSRGraph) -> None:
         """Pre-build (and cache) the coarsening hierarchy for ``graph``.
@@ -223,10 +242,13 @@ class VerseTool(BaseEmbeddingTool):
     def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
+                 sampler_backend: str | None = None,
                  epochs: int = 600, learning_rate: float = 0.045,
                  similarity: str = "adjacency", **config_overrides):
         _check_ignored_kernel_backend(kernel_backend)
-        del device, kernel_backend  # CPU-only tool; accepted for registry uniformity.
+        _check_ignored_sampler_backend(sampler_backend)
+        # CPU-only tool; accepted for registry uniformity.
+        del device, kernel_backend, sampler_backend
         self.config = VerseConfig(
             dim=dim if dim is not None else VerseConfig.dim,
             epochs=max(1, int(epochs * epoch_scale)),
@@ -265,9 +287,12 @@ class MileTool(BaseEmbeddingTool):
     def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
+                 sampler_backend: str | None = None,
                  base_epochs: int = 200, **config_overrides):
         _check_ignored_kernel_backend(kernel_backend)
-        del device, kernel_backend  # CPU-only tool; accepted for registry uniformity.
+        _check_ignored_sampler_backend(sampler_backend)
+        # CPU-only tool; accepted for registry uniformity.
+        del device, kernel_backend, sampler_backend
         self.config = MileConfig(
             dim=dim if dim is not None else MileConfig.dim,
             base_epochs=max(1, int(base_epochs * epoch_scale)),
@@ -303,9 +328,12 @@ class GraphViteTool(BaseEmbeddingTool):
     def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
+                 sampler_backend: str | None = None,
                  epochs: int = 600, learning_rate: float = 0.05, **config_overrides):
         _check_ignored_kernel_backend(kernel_backend)
-        del kernel_backend  # episodic trainer has its own loop; registry uniformity.
+        _check_ignored_sampler_backend(sampler_backend)
+        # episodic trainer has its own loop; accepted for registry uniformity.
+        del kernel_backend, sampler_backend
         self.device = device
         self.config = GraphViteConfig(
             dim=dim if dim is not None else GraphViteConfig.dim,

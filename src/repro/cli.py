@@ -67,7 +67,8 @@ def _resolve_tool(args: argparse.Namespace):
     try:
         return get_tool(name, dim=args.dim, epoch_scale=args.epoch_scale,
                         device=device, seed=args.seed,
-                        kernel_backend=args.kernel_backend)
+                        kernel_backend=args.kernel_backend,
+                        sampler_backend=args.sampler_backend)
     except UnknownToolError as exc:
         raise SystemExit(str(exc)) from exc
     except ValueError as exc:
@@ -170,10 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated device memory (default: Titan X, 12 GB)")
         p.add_argument("--kernel-backend", default=None, metavar="NAME",
                        help="kernel backend for the GOSH update kernels: "
-                            "reference (loop-based oracle, default) | vectorized "
-                            "(whole-epoch batched ops, ~10x faster); "
-                            "third-party backends registered via "
-                            "repro.gpu.register_backend are accepted by name")
+                            "vectorized (whole-epoch batched ops, default) | "
+                            "reference (loop-based oracle); third-party backends "
+                            "registered via repro.gpu.register_backend are "
+                            "accepted by name")
+        p.add_argument("--sampler-backend", default=None, metavar="NAME",
+                       help="host-side sampler producing the large-graph "
+                            "engine's positive pools: vectorized (whole-part "
+                            "batched, default) | reference (per-vertex loop "
+                            "oracle); third-party backends registered via "
+                            "repro.graph.register_sampler_backend are accepted "
+                            "by name")
 
     p_embed = sub.add_parser("embed", help="embed a graph and save the matrix as .npy")
     add_common(p_embed)

@@ -39,9 +39,14 @@ class GoshConfig:
     * ``negative_power`` — exponent of the degree-based noise distribution
       (0 = uniform, the paper's choice).
     * ``kernel_backend`` — which kernel layer executes the updates:
-      ``"reference"`` (loop-based oracle, default) or ``"vectorized"``
-      (whole-epoch batched ops); used by both the in-memory and the
-      partitioned large-graph trainers.
+      ``"vectorized"`` (whole-epoch batched ops, default) or ``"reference"``
+      (loop-based oracle); used by both the in-memory and the partitioned
+      large-graph trainers.
+    * ``sampler_backend`` — which host-side sampler produces the large-graph
+      engine's positive sample pools: ``"vectorized"`` (whole-part batched,
+      default) or ``"reference"`` (per-vertex loop oracle); both draw
+      identical pairs for a fixed seed (see
+      :mod:`repro.graph.sampler_backends`).
     """
 
     name: str = "normal"
@@ -58,7 +63,8 @@ class GoshConfig:
     use_parallel_coarsening: bool = True
     small_dim_mode: bool = True
     negative_power: float = 0.0
-    kernel_backend: str = "reference"
+    kernel_backend: str = "vectorized"
+    sampler_backend: str = "vectorized"
     seed: int = 0
     # Large-graph engine knobs (Section 3.3 defaults).
     positive_batch_per_vertex: int = 5   # B
@@ -96,11 +102,16 @@ class GoshConfig:
         if self.resident_sample_pools < 1:
             raise ValueError("resident_sample_pools (S_GPU) must be >= 1")
         # Imported here to keep the config module free of gpu imports at
-        # module load; the registry is the source of truth for valid names.
+        # module load; the registries are the source of truth for valid names.
         from ..gpu.backends import UnknownBackendError, get_backend
         try:
             get_backend(self.kernel_backend)
         except UnknownBackendError as exc:
+            raise ValueError(str(exc)) from exc
+        from ..graph.sampler_backends import UnknownSamplerBackendError, get_sampler_backend
+        try:
+            get_sampler_backend(self.sampler_backend)
+        except UnknownSamplerBackendError as exc:
             raise ValueError(str(exc)) from exc
 
 

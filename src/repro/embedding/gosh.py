@@ -140,6 +140,7 @@ class GoshEmbedder:
                 lr_decay_floor=cfg.learning_rate_decay_floor,
                 small_dim_mode=cfg.small_dim_mode,
                 kernel_backend=cfg.kernel_backend,
+                sampler_backend=cfg.sampler_backend,
                 seed=cfg.seed,
             ),
         )

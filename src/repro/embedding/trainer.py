@@ -63,8 +63,8 @@ class LevelTrainer:
         global traffic, the Figure 4 reference point).
     backend:
         Kernel backend executing the epochs: a registered name
-        (``"reference"`` — loop-based oracle, the default — or
-        ``"vectorized"`` — whole-epoch batched ops) or any object
+        (``"vectorized"`` — whole-epoch batched ops, the default — or
+        ``"reference"`` — the loop-based oracle) or any object
         implementing :class:`~repro.gpu.backends.KernelBackend`.
     device:
         Optional :class:`SimulatedDevice` used for memory accounting and the
@@ -76,7 +76,7 @@ class LevelTrainer:
     learning_rate: float = 0.035
     lr_decay_floor: float = 1e-4
     kernel: str = "optimized"
-    backend: str | KernelBackend = "reference"
+    backend: str | KernelBackend = "vectorized"
     small_dim_mode: bool = True
     seed: int = 0
     device: SimulatedDevice | None = None

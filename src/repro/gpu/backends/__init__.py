@@ -4,11 +4,11 @@ Two built-in backends implement the :class:`~repro.gpu.backends.base.KernelBacke
 protocol:
 
 * ``"reference"`` — the original loop-based kernels (chunked staging, exact
-  sigmoid, ``np.add.at`` accumulation).  Semantic oracle; default.
+  sigmoid, ``np.add.at`` accumulation).  Semantic oracle.
 * ``"vectorized"`` — whole-epoch batched NumPy ops (fused sigmoid LUT,
   deterministic last-writer-wins scatter, precomputed index arrays); ≥5×
   faster on 50k-edge graphs, numerically close to the reference (tolerances
-  pinned by the kernel-parity suite).
+  pinned by the kernel-parity suite).  Default.
 
 Selection is wired through :class:`~repro.embedding.config.GoshConfig`
 (``kernel_backend``), :class:`~repro.embedding.trainer.LevelTrainer`
@@ -38,8 +38,9 @@ __all__ = [
     "available_backends",
 ]
 
-#: The backend used when nothing selects one explicitly.
-DEFAULT_BACKEND = "reference"
+#: The backend used when nothing selects one explicitly.  The reference
+#: backend remains the semantic oracle for the parity suites.
+DEFAULT_BACKEND = "vectorized"
 
 #: name -> zero-argument factory; instances are created lazily and cached.
 _FACTORIES: dict[str, Callable[[], KernelBackend]] = {

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .csr import CSRGraph
+from .sampler_backends import SamplerBackend, get_sampler_backend
 
 __all__ = [
     "PositiveSampler",
@@ -132,16 +133,23 @@ class PositiveSampler:
     """Positive-sample stream for a graph.
 
     ``strategy`` selects between the paper's adjacency similarity
-    (``"adjacency"``) and VERSE's PPR walks (``"ppr"``).
+    (``"adjacency"``) and VERSE's PPR walks (``"ppr"``).  ``sampler_backend``
+    selects the part-pair sampling engine (see
+    :mod:`repro.graph.sampler_backends`): ``"reference"`` (per-vertex loop,
+    the oracle), ``"vectorized"`` (whole-part batched, the default), or any
+    registered third-party backend — by name, instance, or ``None`` for the
+    registry default.
     """
 
     def __init__(self, graph: CSRGraph, *, strategy: str = "adjacency",
-                 walk_length: int = 3, seed: int | np.random.Generator | None = 0):
+                 walk_length: int = 3, seed: int | np.random.Generator | None = 0,
+                 sampler_backend: str | SamplerBackend | None = None):
         if strategy not in ("adjacency", "ppr"):
             raise ValueError(f"unknown positive sampling strategy: {strategy!r}")
         self.graph = graph
         self.strategy = strategy
         self.walk_length = walk_length
+        self.backend = get_sampler_backend(sampler_backend)
         self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     def sample(self, sources: np.ndarray) -> np.ndarray:
@@ -158,22 +166,14 @@ class PositiveSampler:
         boolean mask over the whole vertex set).  Vertices without neighbours
         in the partner part contribute no pairs — the paper's "almost
         equivalent to B x K epochs" caveat.
+
+        Delegates to the configured sampler backend; every backend draws
+        identical pairs from a shared seeded RNG (see
+        :mod:`repro.graph.sampler_backends`).
         """
-        srcs: list[np.ndarray] = []
-        dsts: list[np.ndarray] = []
-        for v in part_a:
-            nbrs = self.graph.neighbors(int(v))
-            if nbrs.shape[0] == 0:
-                continue
-            valid = nbrs[part_b_mask[nbrs]]
-            if valid.shape[0] == 0:
-                continue
-            picks = valid[self.rng.integers(0, valid.shape[0], size=count_per_vertex)]
-            srcs.append(np.full(count_per_vertex, v, dtype=np.int64))
-            dsts.append(picks)
-        if not srcs:
-            return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
-        return np.concatenate(srcs), np.concatenate(dsts)
+        part_a = np.asarray(part_a, dtype=np.int64)
+        return self.backend.sample_pairs(self.graph, part_a, part_b_mask,
+                                         count_per_vertex, self.rng)
 
 
 class NegativeSampler:

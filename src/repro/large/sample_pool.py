@@ -24,6 +24,12 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.partition import VertexPartition
+from ..graph.sampler_backends import (
+    DEFAULT_SAMPLER_BACKEND,
+    FilteredAdjacencyCache,
+    SamplerBackend,
+    get_sampler_backend,
+)
 
 __all__ = ["SamplePool", "SamplePoolManager"]
 
@@ -65,6 +71,11 @@ class SamplePoolManager:
     max_resident_pools:
         The paper's ``S_GPU`` — maximum number of pools buffered "on the
         device" at once.
+    sampler_backend:
+        The part-pair sampling engine (``"reference"`` loop oracle,
+        ``"vectorized"`` batched default, or any registered backend — see
+        :mod:`repro.graph.sampler_backends`).  Both built-ins draw identical
+        pairs from the same seed.
     """
 
     graph: CSRGraph
@@ -72,6 +83,7 @@ class SamplePoolManager:
     batch_per_vertex: int = 5
     max_resident_pools: int = 4
     seed: int = 0
+    sampler_backend: "str | SamplerBackend" = DEFAULT_SAMPLER_BACKEND
     pools_produced: int = 0
     pools_consumed: int = 0
     samples_produced: int = 0
@@ -80,36 +92,28 @@ class SamplePoolManager:
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
-        # Pre-compute part membership masks once; pools are built lazily.
-        self._masks = [self.partition.mask(k) for k in range(self.partition.num_parts)]
+        self._sampler = get_sampler_backend(self.sampler_backend)
+        # Filtered sub-CSRs (edges landing in the partner part) are built once
+        # per (part, partner-part) direction and reused across rotations.
+        self._filtered = FilteredAdjacencyCache(self.graph, self.partition)
+        # Pre-compute part membership masks once (shared with the filtered
+        # cache); pools are built lazily.
+        self._masks = [self._filtered.mask(k) for k in range(self.partition.num_parts)]
 
     # ------------------------------------------------------------------ #
     # Production (SampleManager role)
     # ------------------------------------------------------------------ #
     def _sample_direction(self, from_part: int, to_part: int) -> tuple[np.ndarray, np.ndarray]:
         """For every vertex of ``from_part``, draw B neighbours inside ``to_part``."""
-        vertices = self.partition.parts[from_part]
-        to_mask = self._masks[to_part]
-        xadj, adj = self.graph.xadj, self.graph.adj
-        srcs: list[np.ndarray] = []
-        dsts: list[np.ndarray] = []
-        B = self.batch_per_vertex
-        for v in vertices:
-            v = int(v)
-            nbrs = adj[xadj[v]: xadj[v + 1]]
-            if nbrs.shape[0] == 0:
-                continue
-            valid = nbrs[to_mask[nbrs]]
-            if valid.shape[0] == 0:
-                # The paper's "almost equivalent" caveat: vertices with no
-                # neighbour in the partner part contribute no positive samples.
-                continue
-            picks = valid[self._rng.integers(0, valid.shape[0], size=B)]
-            srcs.append(np.full(B, v, dtype=np.int64))
-            dsts.append(picks)
-        if not srcs:
-            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
-        return np.concatenate(srcs), np.concatenate(dsts)
+        # Only build (and hold) the filtered sub-CSR for backends that read
+        # it — the reference oracle walks the graph itself.  Third-party
+        # backends that do not declare the flag get the cache by default.
+        filtered = (self._filtered.get(from_part, to_part)
+                    if getattr(self._sampler, "uses_filtered_adjacency", True)
+                    else None)
+        return self._sampler.sample_pairs(
+            self.graph, self.partition.parts[from_part], self._masks[to_part],
+            self.batch_per_vertex, self._rng, filtered=filtered)
 
     def build_pool(self, part_a: int, part_b: int) -> SamplePool:
         """Build the pool for one part pair (both sampling directions)."""
@@ -150,10 +154,17 @@ class SamplePoolManager:
     def resident_pools(self) -> int:
         return len(self._buffer)
 
-    def stats(self) -> dict[str, int]:
+    @property
+    def resident_pool_keys(self) -> list[tuple[int, int]]:
+        """Buffered pool keys, oldest first (bounded-FIFO production order)."""
+        return list(self._buffer)
+
+    def stats(self) -> dict[str, object]:
         return {
             "pools_produced": self.pools_produced,
             "pools_consumed": self.pools_consumed,
             "samples_produced": self.samples_produced,
             "resident_pools": self.resident_pools,
+            "sampler_backend": self._sampler.name,
+            "filtered_cache": self._filtered.stats(),
         }

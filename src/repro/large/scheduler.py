@@ -46,7 +46,8 @@ class LargeGraphConfig:
     learning_rate: float = 0.035
     lr_decay_floor: float = 1e-4
     small_dim_mode: bool = True
-    kernel_backend: str = "reference"    # pair-kernel layer (see repro.gpu.backends)
+    kernel_backend: str = "vectorized"   # pair-kernel layer (see repro.gpu.backends)
+    sampler_backend: str = "vectorized"  # host sampler layer (see repro.graph.sampler_backends)
     seed: int = 0
     min_parts: int | None = None         # force K >= min_parts (tests / figure 3)
 
@@ -97,7 +98,7 @@ class LargeGraphTrainer:
         pools = SamplePoolManager(
             graph=graph, partition=partition,
             batch_per_vertex=B, max_resident_pools=cfg.resident_sample_pools,
-            seed=cfg.seed,
+            seed=cfg.seed, sampler_backend=cfg.sampler_backend,
         )
         state = GPUState(embedding=embedding, parts=partition.parts,
                          device=self.device, num_bins=cfg.resident_submatrices)

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.api import (
+    BatchFailure,
     EmbedRequest,
     EmbeddingService,
     HierarchyCache,
@@ -12,6 +14,7 @@ from repro.api import (
 )
 from repro.embedding import NORMAL, GoshEmbedder
 from repro.eval import LinkPredictionResult
+from repro.gpu import DeviceMemoryError, DeviceSpec, SimulatedDevice
 
 
 class TestHierarchyCache:
@@ -103,6 +106,47 @@ class TestEmbeddingService:
         assert isinstance(results[3], LinkPredictionResult)
         assert 0.0 < results[3].auc <= 1.0
         assert service.stats()["requests_served"] == 4
+
+    def test_batch_isolates_failing_request(self, small_power_graph):
+        """A failing request (GraphVite's expected DeviceMemoryError on an
+        over-budget graph) must not abort the batch: completed results are
+        kept, later requests still run, and the failure is recorded in
+        place."""
+        nano = SimulatedDevice(spec=DeviceSpec(name="nano", memory_bytes=1024))
+        service = EmbeddingService(dim=8, epoch_scale=0.02, device=nano)
+        results = service.embed_batch([
+            EmbedRequest("verse", small_power_graph),
+            EmbedRequest("graphvite", small_power_graph),   # cannot fit: fails
+            EmbedRequest("verse", small_power_graph, seed=1),
+        ])
+        assert len(results) == 3
+        assert results[0].tool == "verse"
+        assert results[2].tool == "verse"                   # ran after the failure
+        failure = results[1]
+        assert isinstance(failure, BatchFailure)
+        assert failure.tool == "graphvite"
+        assert isinstance(failure.error, DeviceMemoryError)
+        assert failure.request.graph is small_power_graph
+        stats = service.stats()
+        assert stats["requests_served"] == 2
+        assert stats["requests_failed"] == 1
+
+    def test_batch_all_success_reports_no_failures(self, small_power_graph):
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        results = service.embed_batch([EmbedRequest("verse", small_power_graph)])
+        assert not any(isinstance(r, BatchFailure) for r in results)
+        assert service.stats()["requests_failed"] == 0
+
+    def test_batch_unknown_tool_still_raises(self, small_power_graph):
+        """Isolation covers runtime failures, not batch programming errors:
+        a typo'd tool name must raise instead of degrading into a silent
+        BatchFailure entry."""
+        from repro.api import UnknownToolError
+
+        service = EmbeddingService(dim=8, epoch_scale=0.02)
+        with pytest.raises(UnknownToolError):
+            service.embed_batch([EmbedRequest("ghos-normal", small_power_graph)])
+        assert service.stats()["requests_failed"] == 0
 
     def test_progress_callback_from_service(self, small_power_graph):
         events = []

@@ -59,8 +59,14 @@ class TestLevelTrainerBackend:
 
 
 class TestGoshConfigBackend:
-    def test_default_is_reference(self):
-        assert NORMAL.kernel_backend == "reference"
+    def test_default_is_vectorized(self):
+        from repro.gpu.backends import DEFAULT_BACKEND
+
+        assert DEFAULT_BACKEND == "vectorized"
+        assert NORMAL.kernel_backend == "vectorized"
+        # The reference oracle stays registered for the parity suites.
+        from repro.gpu import available_backends
+        assert "reference" in available_backends()
 
     def test_invalid_backend_fails_validation(self):
         with pytest.raises(ValueError):
@@ -87,7 +93,7 @@ class TestGoshConfigBackend:
         is looser than the per-kernel one: mean cosine >= 0.9.
         """
         base = FAST.scaled(0.1, dim=16).with_(seed=7)
-        ref = embed(small_power_graph, base).embedding
+        ref = embed(small_power_graph, base.with_(kernel_backend="reference")).embedding
         vec = embed(small_power_graph, base.with_(kernel_backend="vectorized")).embedding
         cos = np.einsum("ij,ij->i", ref, vec) / (
             np.linalg.norm(ref, axis=1) * np.linalg.norm(vec, axis=1) + 1e-12)
@@ -168,6 +174,61 @@ class TestApiAndCli:
         from repro.cli import build_parser
         args = build_parser().parse_args(["embed", "com-dblp"])
         assert args.kernel_backend is None
+
+
+class TestSamplerBackendIntegration:
+    """--sampler-backend wired through config, scheduler, API and CLI."""
+
+    def test_config_default_and_validation(self):
+        assert NORMAL.sampler_backend == "vectorized"
+        with pytest.raises(ValueError):
+            NORMAL.with_(sampler_backend="warp-speed").validate()
+
+    def test_large_graph_path_identical_across_sampler_backends(self):
+        """Sampler parity is exact, so the whole partitioned training run is
+        bit-identical whichever sampler backend produced the pools."""
+        g = social_community(600, intra_degree=6, seed=4)
+        embeddings = {}
+        for backend in ("reference", "vectorized"):
+            device = SimulatedDevice(spec=DeviceSpec(name="nano", memory_bytes=16 * 1024))
+            emb = init_embedding(g.num_vertices, 16, 2)
+            cfg = LargeGraphConfig(sampler_backend=backend, min_parts=3, seed=0)
+            stats = LargeGraphTrainer(device, cfg).train(g, emb, 10)
+            embeddings[backend] = emb
+            assert stats.positive_samples > 0
+        assert np.array_equal(embeddings["reference"], embeddings["vectorized"])
+
+    def test_get_tool_accepts_sampler_backend_for_all_builtins(self):
+        for name in ("gosh-normal", "verse", "mile", "graphvite"):
+            tool = get_tool(name, dim=8, epoch_scale=0.02, sampler_backend="reference")
+            assert tool is not None
+
+    def test_gosh_tool_propagates_sampler_backend(self):
+        tool = get_tool("gosh-fast", dim=8, sampler_backend="reference")
+        assert tool.config.sampler_backend == "reference"
+        assert "reference sampler" in tool.describe()
+
+    def test_baselines_reject_invalid_sampler_backend_names(self):
+        for name in ("verse", "mile", "graphvite"):
+            with pytest.raises(ValueError):
+                get_tool(name, dim=8, sampler_backend="vectorised")
+
+    def test_cli_sampler_backend_flag(self, tmp_path):
+        out = tmp_path / "emb.npy"
+        code = main(["embed", "com-amazon", "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "--sampler-backend", "reference",
+                     "-o", str(out)])
+        assert code == 0
+        assert np.load(out).shape[1] == 8
+
+    def test_cli_unknown_sampler_backend_exits(self):
+        with pytest.raises(SystemExit):
+            main(["embed", "com-amazon", "--sampler-backend", "warp-speed"])
+
+    def test_cli_parser_default_is_none(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["embed", "com-dblp"])
+        assert args.sampler_backend is None
 
 
 def test_quality_parity_on_sbm():

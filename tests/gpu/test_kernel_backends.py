@@ -59,7 +59,8 @@ class TestBackendRegistry:
         assert get_backend("vectorized") is get_backend("VECTORIZED")
 
     def test_get_backend_default_and_passthrough(self):
-        assert get_backend(None).name == "reference"
+        # The vectorized backend is the default; reference stays the oracle.
+        assert get_backend(None).name == "vectorized"
         custom = VectorizedBackend()
         assert get_backend(custom) is custom
 

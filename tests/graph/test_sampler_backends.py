@@ -1,0 +1,284 @@
+"""Sampler-backend suite: registry, golden parity, and distribution pins.
+
+The parity tests are the contract of the subsystem: the ``"reference"``
+per-vertex loop and the ``"vectorized"`` whole-part batched sampler must draw
+*identical* ``(src, dst)`` arrays from a shared seeded Generator, because
+both consume one row of ``B`` float64 uniforms per eligible vertex.  The
+distributional tests pin the paper's "almost equivalent to B×K epochs"
+semantics: every dst lands in the partner part, eligible vertices contribute
+exactly ``B`` pairs, and isolated / partner-less vertices contribute none.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    DEFAULT_SAMPLER_BACKEND,
+    PositiveSampler,
+    ReferenceSamplerBackend,
+    UnknownSamplerBackendError,
+    VectorizedSamplerBackend,
+    available_sampler_backends,
+    build_filtered_adjacency,
+    contiguous_partition,
+    get_sampler_backend,
+    powerlaw_cluster,
+    register_sampler_backend,
+    ring,
+    social_community,
+    star,
+)
+from repro.graph.sampler_backends import FilteredAdjacencyCache, pick_indices
+
+BACKENDS = ("reference", "vectorized")
+
+
+def _pair_draw(graph, part_vertices, partner_mask, B, backend, seed=123):
+    sampler = PositiveSampler(graph, seed=seed, sampler_backend=backend)
+    return sampler.sample_pairs_for_part(part_vertices, partner_mask, B)
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_sampler_backends()
+        assert "reference" in names and "vectorized" in names
+
+    def test_default_is_vectorized(self):
+        assert DEFAULT_SAMPLER_BACKEND == "vectorized"
+        assert get_sampler_backend(None).name == "vectorized"
+
+    def test_name_lookup_is_cached_singleton(self):
+        assert get_sampler_backend("reference") is get_sampler_backend("reference")
+        assert get_sampler_backend("vectorized") is get_sampler_backend("VECTORIZED")
+
+    def test_instance_passthrough(self):
+        custom = ReferenceSamplerBackend()
+        assert get_sampler_backend(custom) is custom
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(UnknownSamplerBackendError) as exc:
+            get_sampler_backend("warp-speed")
+        assert "warp-speed" in str(exc.value)
+        assert "vectorized" in str(exc.value)
+
+    def test_register_and_replace_guard(self):
+        with pytest.raises(ValueError):
+            register_sampler_backend("reference", ReferenceSamplerBackend)
+        register_sampler_backend("reference", ReferenceSamplerBackend, replace=True)
+        assert isinstance(get_sampler_backend("reference"), ReferenceSamplerBackend)
+
+
+class TestFilteredAdjacency:
+    def test_rows_equal_masked_neighbour_lists(self, tiny_graph):
+        part = np.array([0, 1, 4], dtype=np.int64)
+        mask = np.zeros(tiny_graph.num_vertices, dtype=bool)
+        mask[[2, 3, 5]] = True
+        filt = build_filtered_adjacency(tiny_graph, part, mask)
+        for i, v in enumerate(part):
+            expected = tiny_graph.neighbors(int(v))
+            expected = expected[mask[expected]]
+            row = filt.targets[filt.offsets[i]: filt.offsets[i + 1]]
+            assert np.array_equal(row, expected)
+
+    def test_empty_part(self, tiny_graph):
+        filt = build_filtered_adjacency(tiny_graph, np.zeros(0, dtype=np.int64),
+                                        np.ones(tiny_graph.num_vertices, dtype=bool))
+        assert filt.offsets.shape == (1,)
+        assert filt.targets.shape == (0,)
+
+    def test_part_of_isolated_vertices(self):
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        filt = build_filtered_adjacency(g, np.array([2, 3, 4]), np.ones(5, dtype=bool))
+        assert np.array_equal(filt.counts, [0, 0, 0])
+        assert filt.targets.shape == (0,)
+
+    def test_cache_reuses_entries(self):
+        g = social_community(120, intra_degree=4, seed=1)
+        partition = contiguous_partition(g.num_vertices, 3)
+        cache = FilteredAdjacencyCache(g, partition)
+        first = cache.get(0, 1)
+        again = cache.get(0, 1)
+        other = cache.get(1, 0)
+        assert again is first and other is not first
+        stats = cache.stats()
+        assert stats["builds"] == 2 and stats["hits"] == 1 and stats["entries"] == 2
+        assert stats["nbytes"] > 0
+
+    def test_cached_entry_matches_fresh_build(self):
+        g = social_community(120, intra_degree=4, seed=1)
+        partition = contiguous_partition(g.num_vertices, 3)
+        cache = FilteredAdjacencyCache(g, partition)
+        cached = cache.get(2, 0)
+        fresh = build_filtered_adjacency(g, partition.parts[2], partition.mask(0))
+        assert np.array_equal(cached.offsets, fresh.offsets)
+        assert np.array_equal(cached.targets, fresh.targets)
+
+
+class TestPickIndices:
+    def test_in_range_and_floor_semantics(self):
+        u = np.array([0.0, 0.49, 0.5, 0.999])
+        assert np.array_equal(pick_indices(u, 2), [0, 0, 1, 1])
+
+    def test_scalar_and_column_counts_agree(self):
+        rng = np.random.default_rng(0)
+        u = rng.random((6, 4))
+        counts = np.array([1, 2, 3, 5, 8, 13])
+        stacked = np.stack([pick_indices(u[i], int(counts[i])) for i in range(6)])
+        assert np.array_equal(pick_indices(u, counts[:, None]), stacked)
+        assert (pick_indices(u, counts[:, None]) < counts[:, None]).all()
+
+
+class TestGoldenParity:
+    """reference and vectorized draw identical pairs under a shared seed."""
+
+    @pytest.mark.parametrize("B", [1, 2, 5, 9])
+    def test_identical_arrays_on_community_graph(self, B):
+        g = social_community(300, intra_degree=5, seed=3)
+        partition = contiguous_partition(g.num_vertices, 3)
+        mask = partition.mask(1)
+        ref = _pair_draw(g, partition.parts[0], mask, B, "reference")
+        vec = _pair_draw(g, partition.parts[0], mask, B, "vectorized")
+        assert np.array_equal(ref[0], vec[0])
+        assert np.array_equal(ref[1], vec[1])
+        assert ref[0].shape[0] > 0
+
+    @pytest.mark.parametrize("graph_factory", [
+        lambda: powerlaw_cluster(200, m=3, seed=1),
+        lambda: star(40),
+        lambda: ring(64),
+        lambda: CSRGraph.from_edges(8, [(0, 1), (2, 3)]),   # mostly isolated
+        lambda: CSRGraph.empty(12),                          # fully isolated
+    ])
+    def test_identical_arrays_across_graph_shapes(self, graph_factory):
+        g = graph_factory()
+        n = g.num_vertices
+        part_a = np.arange(n // 2, dtype=np.int64)
+        mask = np.zeros(n, dtype=bool)
+        mask[n // 2:] = True
+        ref = _pair_draw(g, part_a, mask, 4, "reference", seed=7)
+        vec = _pair_draw(g, part_a, mask, 4, "vectorized", seed=7)
+        assert np.array_equal(ref[0], vec[0])
+        assert np.array_equal(ref[1], vec[1])
+
+    def test_parity_with_self_pair_mask(self):
+        """(V^a, V^a) pools: the partner mask covers the part itself."""
+        g = social_community(200, intra_degree=6, seed=0)
+        partition = contiguous_partition(g.num_vertices, 4)
+        mask = partition.mask(2)
+        ref = _pair_draw(g, partition.parts[2], mask, 3, "reference")
+        vec = _pair_draw(g, partition.parts[2], mask, 3, "vectorized")
+        assert np.array_equal(ref[0], vec[0])
+        assert np.array_equal(ref[1], vec[1])
+
+    def test_parity_survives_interleaved_calls(self):
+        """Pools are drawn from one shared RNG stream across many calls —
+        the whole sequence must match, not just a single draw."""
+        g = social_community(240, intra_degree=5, seed=2)
+        partition = contiguous_partition(g.num_vertices, 4)
+        samplers = {name: PositiveSampler(g, seed=42, sampler_backend=name)
+                    for name in BACKENDS}
+        for a in range(4):
+            for b in range(4):
+                draws = {name: s.sample_pairs_for_part(
+                    partition.parts[a], partition.mask(b), 2)
+                    for name, s in samplers.items()}
+                assert np.array_equal(draws["reference"][0], draws["vectorized"][0])
+                assert np.array_equal(draws["reference"][1], draws["vectorized"][1])
+
+
+class TestDistribution:
+    @pytest.fixture
+    def setup(self):
+        g = social_community(300, intra_degree=6, seed=4)
+        partition = contiguous_partition(g.num_vertices, 3)
+        return g, partition
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_src_in_part_a_dst_in_part_b(self, setup, backend):
+        g, partition = setup
+        src, dst = _pair_draw(g, partition.parts[0], partition.mask(1), 5, backend)
+        assert np.all(partition.part_of[src] == 0)
+        assert np.all(partition.part_of[dst] == 1)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_pair_is_an_edge(self, setup, backend):
+        g, partition = setup
+        src, dst = _pair_draw(g, partition.parts[2], partition.mask(0), 3, backend)
+        for s, d in zip(src, dst):
+            assert g.has_edge(int(s), int(d))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_eligible_vertices_contribute_exactly_B(self, setup, backend):
+        g, partition = setup
+        B = 4
+        mask = partition.mask(1)
+        src, _ = _pair_draw(g, partition.parts[0], mask, B, backend)
+        counts = np.bincount(src, minlength=g.num_vertices)
+        # Every vertex contributes 0 (no partner-part neighbour) or exactly B.
+        assert set(np.unique(counts[partition.parts[0]])).issubset({0, B})
+        for v in partition.parts[0]:
+            nbrs = g.neighbors(int(v))
+            eligible = bool(nbrs.shape[0]) and bool(mask[nbrs].any())
+            assert counts[v] == (B if eligible else 0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_isolated_vertices_excluded(self, backend):
+        g = CSRGraph.from_edges(6, [(0, 3), (1, 4)])   # 2 and 5 isolated
+        mask = np.zeros(6, dtype=bool)
+        mask[3:] = True
+        src, dst = _pair_draw(g, np.array([0, 1, 2]), mask, 3, backend)
+        assert 2 not in src
+        assert np.array_equal(np.unique(src), [0, 1])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_vertex_without_partner_neighbours_excluded(self, backend):
+        # 0-1 edge stays inside part_a; only 2-3 crosses into the partner.
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        mask = np.zeros(4, dtype=bool)
+        mask[3] = True
+        src, dst = _pair_draw(g, np.array([0, 1, 2]), mask, 2, backend)
+        assert np.array_equal(np.unique(src), [2])
+        assert np.all(dst == 3)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_part_returns_empty_int64(self, setup, backend):
+        g, partition = setup
+        src, dst = _pair_draw(g, np.zeros(0, dtype=np.int64), partition.mask(0),
+                              5, backend)
+        assert src.shape == dst.shape == (0,)
+        assert src.dtype == dst.dtype == np.int64
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_mask_returns_empty(self, setup, backend):
+        g, partition = setup
+        src, dst = _pair_draw(g, partition.parts[0],
+                              np.zeros(g.num_vertices, dtype=bool), 5, backend)
+        assert src.shape == dst.shape == (0,)
+
+    def test_vectorized_covers_all_partner_neighbours(self):
+        """Over many draws every partner-part neighbour must appear."""
+        g = ring(12)
+        mask = np.zeros(12, dtype=bool)
+        mask[[1, 11]] = True   # both neighbours of vertex 0
+        sampler = PositiveSampler(g, seed=0, sampler_backend="vectorized")
+        seen = set()
+        for _ in range(40):
+            _, dst = sampler.sample_pairs_for_part(np.array([0]), mask, 5)
+            seen.update(dst.tolist())
+        assert seen == {1, 11}
+
+
+class TestBackendThroughSampler:
+    def test_default_backend_is_registry_default(self, tiny_graph):
+        assert PositiveSampler(tiny_graph).backend.name == DEFAULT_SAMPLER_BACKEND
+
+    def test_instance_injection(self, tiny_graph):
+        backend = VectorizedSamplerBackend()
+        assert PositiveSampler(tiny_graph, sampler_backend=backend).backend is backend
+
+    def test_unknown_backend_name_raises(self, tiny_graph):
+        with pytest.raises(UnknownSamplerBackendError):
+            PositiveSampler(tiny_graph, sampler_backend="warp-speed")

@@ -111,6 +111,104 @@ class TestSamplePoolManager:
         assert manager.stats()["pools_consumed"] == 1
 
 
+class TestSamplePoolCounters:
+    """Producer/consumer counters and bounded-queue refill semantics."""
+
+    def _manager(self, max_resident=2, backend=None, seed=0):
+        graph = social_community(200, intra_degree=6, seed=0)
+        partition = contiguous_partition(graph.num_vertices, 4)
+        kwargs = {} if backend is None else {"sampler_backend": backend}
+        return SamplePoolManager(graph=graph, partition=partition,
+                                 batch_per_vertex=3,
+                                 max_resident_pools=max_resident, seed=seed,
+                                 **kwargs)
+
+    def test_counters_track_production_and_consumption(self):
+        manager = self._manager(max_resident=3)
+        manager.prefetch([(1, 0), (2, 0), (2, 1)])
+        assert manager.pools_produced == 3
+        assert manager.pools_consumed == 0
+        assert manager.resident_pools == 3
+        pools = [manager.acquire(1, 0), manager.acquire(2, 1)]
+        assert manager.pools_consumed == 2
+        assert manager.pools_produced == 3          # both were buffered
+        assert manager.resident_pools == 1
+        # a miss builds on demand: produced and consumed advance together
+        pools.append(manager.acquire(3, 0))
+        assert manager.pools_produced == 4
+        assert manager.pools_consumed == 3
+        assert manager.samples_produced == sum(
+            p.num_samples for p in pools) + manager.acquire(2, 0).num_samples
+        assert manager.pools_consumed == 4
+
+    def test_buffer_keys_keep_production_order(self):
+        manager = self._manager(max_resident=3)
+        manager.prefetch([(3, 0), (1, 0), (2, 1), (2, 0)])
+        # Bounded queue: only the first max_resident pairs were produced,
+        # buffered oldest-first in production order (normalised keys).
+        assert manager.resident_pool_keys == [(3, 0), (1, 0), (2, 1)]
+
+    def test_acquire_frees_slot_for_refill(self):
+        manager = self._manager(max_resident=2)
+        manager.prefetch([(1, 0), (2, 0), (2, 1)])
+        assert manager.resident_pool_keys == [(1, 0), (2, 0)]
+        manager.acquire(1, 0)                        # consume the oldest
+        manager.prefetch([(2, 0), (2, 1)])           # refill the freed slot
+        assert manager.resident_pool_keys == [(2, 0), (2, 1)]
+        assert manager.pools_produced == 3           # (2, 0) was not rebuilt
+
+    def test_acquire_out_of_order_preserves_remaining_order(self):
+        manager = self._manager(max_resident=3)
+        manager.prefetch([(1, 0), (2, 0), (2, 1)])
+        manager.acquire(2, 0)                        # consume from the middle
+        assert manager.resident_pool_keys == [(1, 0), (2, 1)]
+
+    def test_prefetch_normalises_and_dedupes_keys(self):
+        manager = self._manager(max_resident=4)
+        manager.prefetch([(0, 1), (1, 0), (1, 0)])
+        assert manager.pools_produced == 1
+        assert manager.resident_pool_keys == [(1, 0)]
+
+    def test_stats_shape(self):
+        manager = self._manager(backend="vectorized")
+        manager.prefetch([(1, 0)])
+        manager.acquire(1, 0)
+        stats = manager.stats()
+        assert stats["pools_produced"] == 1
+        assert stats["pools_consumed"] == 1
+        assert stats["resident_pools"] == 0
+        assert stats["samples_produced"] > 0
+        assert stats["sampler_backend"] == "vectorized"
+        # pool (1, 0) samples both directions -> two filtered sub-CSRs built
+        assert stats["filtered_cache"]["builds"] == 2
+        assert stats["filtered_cache"]["entries"] == 2
+
+    def test_reference_backend_skips_filtered_cache(self):
+        """The oracle walks the graph itself; the manager must not pay for
+        (or hold) filtered sub-CSRs the backend never reads."""
+        manager = self._manager(backend="reference")
+        manager.build_pool(1, 0)
+        cache = manager.stats()["filtered_cache"]
+        assert cache["builds"] == 0 and cache["entries"] == 0
+
+    def test_filtered_cache_hits_across_rebuilds(self):
+        manager = self._manager(backend="vectorized")
+        manager.build_pool(1, 0)
+        manager.build_pool(1, 0)
+        cache = manager.stats()["filtered_cache"]
+        assert cache["builds"] == 2 and cache["hits"] == 2
+
+    def test_backend_parity_at_pool_level(self):
+        """Both sampler backends draw identical pools for a fixed seed."""
+        ref = self._manager(backend="reference", seed=11)
+        vec = self._manager(backend="vectorized", seed=11)
+        for a in range(4):
+            for b in range(a + 1):
+                p_ref, p_vec = ref.build_pool(a, b), vec.build_pool(a, b)
+                assert np.array_equal(p_ref.src, p_vec.src)
+                assert np.array_equal(p_ref.dst, p_vec.dst)
+
+
 class TestGPUState:
     @pytest.fixture
     def state(self):
