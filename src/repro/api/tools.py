@@ -14,8 +14,12 @@ same construction options so the registry can build any of them uniformly:
   (``"vectorized"`` default or ``"reference"``); accepted and ignored by the
   baselines, which have their own training loops.
 * ``sampler_backend`` — host-side sampler producing the large-graph engine's
-  positive pools (``"vectorized"`` default or ``"reference"``); accepted and
-  ignored by the baselines for the same reason.
+  positive pools (``"vectorized"`` default, ``"reference"``, or
+  ``"degree_biased"``); accepted and ignored by the baselines for the same
+  reason.
+* ``execution_mode`` — large-graph pool-production scheduling
+  (``"pipelined"`` default or ``"sequential"``); accepted and ignored by the
+  baselines, which have no partitioned engine.
 
 The module-level ``make_gosh_*`` factories are the lazy registration targets
 for the four named GOSH variants (see :mod:`repro.api.registry`).
@@ -37,6 +41,7 @@ from ..gpu.backends import get_backend
 from ..gpu.device import SimulatedDevice
 from ..graph.csr import CSRGraph
 from ..graph.sampler_backends import DEFAULT_SAMPLER_BACKEND, get_sampler_backend
+from ..large.pipeline import DEFAULT_EXECUTION_MODE, normalize_execution_mode
 from .cache import HierarchyCache
 from .protocol import ProgressCallback, ProgressEvent
 from .result import EmbeddingResult
@@ -78,6 +83,12 @@ def _check_ignored_sampler_backend(name: str | None) -> None:
         get_sampler_backend(name)
     except KeyError as exc:
         raise ValueError(str(exc)) from exc
+
+
+def _check_ignored_execution_mode(name: str | None) -> None:
+    """Same typo guard for the ``execution_mode`` option (see above)."""
+    if name is not None:
+        normalize_execution_mode(name)
 
 
 class BaseEmbeddingTool:
@@ -138,6 +149,7 @@ class GoshTool(BaseEmbeddingTool):
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
                  sampler_backend: str | None = None,
+                 execution_mode: str | None = None,
                  hierarchy_cache: HierarchyCache | None = None):
         cfg = get_config(config) if isinstance(config, str) else config
         cfg = cfg.scaled(epoch_scale, dim=dim)
@@ -147,6 +159,8 @@ class GoshTool(BaseEmbeddingTool):
             cfg = cfg.with_(kernel_backend=kernel_backend)
         if sampler_backend is not None:
             cfg = cfg.with_(sampler_backend=sampler_backend)
+        if execution_mode is not None:
+            cfg = cfg.with_(execution_mode=execution_mode)
         cfg.validate()
         self.config = cfg
         self.device = device
@@ -161,8 +175,10 @@ class GoshTool(BaseEmbeddingTool):
         backend = f", {cfg.kernel_backend} kernels"
         sampler = ("" if cfg.sampler_backend == DEFAULT_SAMPLER_BACKEND
                    else f", {cfg.sampler_backend} sampler")
+        mode = ("" if normalize_execution_mode(cfg.execution_mode) == DEFAULT_EXECUTION_MODE
+                else f", {cfg.execution_mode} execution")
         return (f"GOSH {cfg.name}: p={cfg.smoothing_ratio}, lr={cfg.learning_rate}, "
-                f"e={cfg.epochs}, {coarse}{backend}{sampler} (GPU, multilevel)")
+                f"e={cfg.epochs}, {coarse}{backend}{sampler}{mode} (GPU, multilevel)")
 
     def prepare(self, graph: CSRGraph) -> None:
         """Pre-build (and cache) the coarsening hierarchy for ``graph``.
@@ -243,12 +259,14 @@ class VerseTool(BaseEmbeddingTool):
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
                  sampler_backend: str | None = None,
+                 execution_mode: str | None = None,
                  epochs: int = 600, learning_rate: float = 0.045,
                  similarity: str = "adjacency", **config_overrides):
         _check_ignored_kernel_backend(kernel_backend)
         _check_ignored_sampler_backend(sampler_backend)
+        _check_ignored_execution_mode(execution_mode)
         # CPU-only tool; accepted for registry uniformity.
-        del device, kernel_backend, sampler_backend
+        del device, kernel_backend, sampler_backend, execution_mode
         self.config = VerseConfig(
             dim=dim if dim is not None else VerseConfig.dim,
             epochs=max(1, int(epochs * epoch_scale)),
@@ -288,11 +306,13 @@ class MileTool(BaseEmbeddingTool):
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
                  sampler_backend: str | None = None,
+                 execution_mode: str | None = None,
                  base_epochs: int = 200, **config_overrides):
         _check_ignored_kernel_backend(kernel_backend)
         _check_ignored_sampler_backend(sampler_backend)
+        _check_ignored_execution_mode(execution_mode)
         # CPU-only tool; accepted for registry uniformity.
-        del device, kernel_backend, sampler_backend
+        del device, kernel_backend, sampler_backend, execution_mode
         self.config = MileConfig(
             dim=dim if dim is not None else MileConfig.dim,
             base_epochs=max(1, int(base_epochs * epoch_scale)),
@@ -329,11 +349,13 @@ class GraphViteTool(BaseEmbeddingTool):
                  device: SimulatedDevice | None = None, seed: int | None = None,
                  kernel_backend: str | None = None,
                  sampler_backend: str | None = None,
+                 execution_mode: str | None = None,
                  epochs: int = 600, learning_rate: float = 0.05, **config_overrides):
         _check_ignored_kernel_backend(kernel_backend)
         _check_ignored_sampler_backend(sampler_backend)
+        _check_ignored_execution_mode(execution_mode)
         # episodic trainer has its own loop; accepted for registry uniformity.
-        del kernel_backend, sampler_backend
+        del kernel_backend, sampler_backend, execution_mode
         self.device = device
         self.config = GraphViteConfig(
             dim=dim if dim is not None else GraphViteConfig.dim,

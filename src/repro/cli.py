@@ -68,7 +68,8 @@ def _resolve_tool(args: argparse.Namespace):
         return get_tool(name, dim=args.dim, epoch_scale=args.epoch_scale,
                         device=device, seed=args.seed,
                         kernel_backend=args.kernel_backend,
-                        sampler_backend=args.sampler_backend)
+                        sampler_backend=args.sampler_backend,
+                        execution_mode=args.execution_mode)
     except UnknownToolError as exc:
         raise SystemExit(str(exc)) from exc
     except ValueError as exc:
@@ -98,7 +99,8 @@ def cmd_embed(args: argparse.Namespace) -> int:
               f"levels={large['levels']}, K={large['parts_per_level']}, "
               f"rotations={large['rotations']}, kernels={large['kernels']}, "
               f"switches={large['submatrix_switches']} "
-              f"({large['seconds']:.3f}s)")
+              f"({large['seconds']:.3f}s, {large['execution_mode']} execution, "
+              f"pool stall {large['pool_stall_s']:.3f}s)")
     print(f"embedding saved to {args.output} (shape {result.embedding.shape})")
     return 0
 
@@ -179,9 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="host-side sampler producing the large-graph "
                             "engine's positive pools: vectorized (whole-part "
                             "batched, default) | reference (per-vertex loop "
-                            "oracle); third-party backends registered via "
-                            "repro.graph.register_sampler_backend are accepted "
-                            "by name")
+                            "oracle) | degree_biased (GraphVite-style deg^0.75 "
+                            "hub weighting); third-party backends registered "
+                            "via repro.graph.register_sampler_backend are "
+                            "accepted by name")
+        p.add_argument("--execution-mode", default=None, metavar="MODE",
+                       help="large-graph pool production scheduling: pipelined "
+                            "(background producer thread behind a bounded "
+                            "S_GPU queue, default) | sequential "
+                            "(single-threaded oracle); results are "
+                            "bit-identical either way")
 
     p_embed = sub.add_parser("embed", help="embed a graph and save the matrix as .npy")
     add_common(p_embed)

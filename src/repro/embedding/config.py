@@ -44,9 +44,15 @@ class GoshConfig:
       large-graph trainers.
     * ``sampler_backend`` — which host-side sampler produces the large-graph
       engine's positive sample pools: ``"vectorized"`` (whole-part batched,
-      default) or ``"reference"`` (per-vertex loop oracle); both draw
-      identical pairs for a fixed seed (see
+      default), ``"reference"`` (per-vertex loop oracle), or
+      ``"degree_biased"`` (GraphVite-style deg^0.75 hub weighting); the two
+      uniform backends draw identical pairs for a fixed seed (see
       :mod:`repro.graph.sampler_backends`).
+    * ``execution_mode`` — how the large-graph engine schedules pool
+      production against kernel execution: ``"pipelined"`` (background
+      producer thread behind a bounded S_GPU queue, default) or
+      ``"sequential"`` (single-threaded oracle).  Bit-identical results
+      either way (see :mod:`repro.large.pipeline`).
     """
 
     name: str = "normal"
@@ -65,6 +71,7 @@ class GoshConfig:
     negative_power: float = 0.0
     kernel_backend: str = "vectorized"
     sampler_backend: str = "vectorized"
+    execution_mode: str = "pipelined"
     seed: int = 0
     # Large-graph engine knobs (Section 3.3 defaults).
     positive_batch_per_vertex: int = 5   # B
@@ -113,6 +120,8 @@ class GoshConfig:
             get_sampler_backend(self.sampler_backend)
         except UnknownSamplerBackendError as exc:
             raise ValueError(str(exc)) from exc
+        from ..large.pipeline import normalize_execution_mode
+        normalize_execution_mode(self.execution_mode)
 
 
 #: Table 3 rows.

@@ -141,6 +141,7 @@ class GoshEmbedder:
                 small_dim_mode=cfg.small_dim_mode,
                 kernel_backend=cfg.kernel_backend,
                 sampler_backend=cfg.sampler_backend,
+                execution_mode=cfg.execution_mode,
                 seed=cfg.seed,
             ),
         )

@@ -36,6 +36,8 @@ conflict policy) and ``atol = 1e-5`` for a single pair-kernel call.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..device import SimulatedDevice
@@ -48,7 +50,44 @@ from ..kernels import (
 )
 from .base import EPOCH_KERNELS
 
-__all__ = ["VectorizedBackend"]
+__all__ = ["VectorizedBackend", "ScatterPlan", "PairPlan", "plan_scatter"]
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """Precomputed index structure for one deterministic segment scatter-add.
+
+    The expensive part of ``target[idx] += updates`` with duplicate
+    accumulation is the stable sort of ``idx`` — which depends only on the
+    indices, never on the update values.  A plan captures that sort (the
+    permutation, the duplicate-segment starts, and the unique target rows) so
+    the value-dependent half can run later, possibly on another thread's
+    schedule: the pipelined large-graph engine builds plans on the producer
+    while the consumer applies them against live sub-matrices.
+    """
+
+    order: np.ndarray    # stable argsort of idx
+    starts: np.ndarray   # duplicate-segment boundaries in the sorted order
+    heads: np.ndarray    # unique target rows, one per segment
+
+    def apply(self, target: np.ndarray, updates: np.ndarray) -> None:
+        """``target[idx] += updates`` using the precomputed sort."""
+        if self.order.size == 0:
+            return
+        target[self.heads] += np.add.reduceat(updates[self.order], self.starts, axis=0)
+
+
+def plan_scatter(idx: np.ndarray) -> ScatterPlan:
+    """Build the :class:`ScatterPlan` for an index array (value-independent)."""
+    if idx.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return ScatterPlan(order=empty, starts=empty, heads=empty)
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    # Segment boundaries straight off the sorted array (np.unique would
+    # needlessly re-sort it).
+    starts = np.concatenate(([0], np.flatnonzero(sorted_idx[1:] != sorted_idx[:-1]) + 1))
+    return ScatterPlan(order=order, starts=starts, heads=sorted_idx[starts])
 
 
 def _segment_scatter_add(target: np.ndarray, idx: np.ndarray,
@@ -60,14 +99,35 @@ def _segment_scatter_add(target: np.ndarray, idx: np.ndarray,
     ``np.add.at`` at a fraction of its cost.  The fixed summation order makes
     the result deterministic run-to-run.
     """
-    if idx.size == 0:
-        return
-    order = np.argsort(idx, kind="stable")
-    sorted_idx = idx[order]
-    # Segment boundaries straight off the sorted array (np.unique would
-    # needlessly re-sort it).
-    starts = np.concatenate(([0], np.flatnonzero(sorted_idx[1:] != sorted_idx[:-1]) + 1))
-    target[sorted_idx[starts]] += np.add.reduceat(updates[order], starts, axis=0)
+    plan_scatter(idx).apply(target, updates)
+
+
+@dataclass(frozen=True)
+class PairPlan:
+    """Device-ready preparation of one pair-kernel launch.
+
+    Everything ``train_pair`` needs that does *not* read embedding values:
+    resolved local index arrays, scatter plans for the positive rounds, and
+    the pre-drawn negative targets (one row per round) with their plans.
+    Built by :meth:`VectorizedBackend.prepare_pair` — on the pipelined
+    engine's producer thread — and consumed by passing ``plan=`` to
+    :meth:`VectorizedBackend.train_pair`, which is then bit-identical to the
+    unprepared call with the same generator (the plan drew the same negative
+    stream the kernel would have drawn inline).
+    """
+
+    local_src: np.ndarray
+    local_dst: np.ndarray
+    pos_src_scatter: ScatterPlan
+    pos_dst_scatter: ScatterPlan
+    neg_targets: np.ndarray          # (rounds, |part_a|) pre-drawn negatives
+    neg_scatters: tuple[ScatterPlan, ...]
+
+    def nbytes(self) -> int:
+        arrays = [self.local_src, self.local_dst, self.neg_targets]
+        for plan in (self.pos_src_scatter, self.pos_dst_scatter, *self.neg_scatters):
+            arrays += [plan.order, plan.starts, plan.heads]
+        return int(sum(a.nbytes for a in arrays))
 
 
 class VectorizedBackend:
@@ -168,6 +228,38 @@ class VectorizedBackend:
     # ------------------------------------------------------------------ #
     # Pair kernel (large-graph engine)
     # ------------------------------------------------------------------ #
+    def prepare_pair(self, part_a: np.ndarray, part_b: np.ndarray,
+                     pos_src: np.ndarray, pos_dst: np.ndarray,
+                     ns: int, rng: np.random.Generator, *,
+                     index_a: np.ndarray | None = None,
+                     index_b: np.ndarray | None = None) -> PairPlan:
+        """Precompute the value-independent half of one ``train_pair`` call.
+
+        Resolves the global→local index maps, builds the scatter plans for
+        the positive rounds, and pre-draws the negative rounds from ``rng``
+        — consuming it exactly as the inline kernel would (one
+        ``integers(0, |part_b|, |part_a|)`` call per round), so a prepared
+        launch and an unprepared launch sharing a generator produce
+        bit-identical embeddings.  Reads no embedding data, which is what
+        lets the pipelined engine run it on the pool-producer thread.
+        """
+        if pos_src.shape[0] != pos_dst.shape[0]:
+            raise ValueError("pos_src and pos_dst must have equal length")
+        local_src, local_dst = resolve_pair_locals(pos_src, pos_dst, part_a, part_b,
+                                                   index_a, index_b)
+        rounds = ns if (ns > 0 and part_a.shape[0] and part_b.shape[0]) else 0
+        neg_targets = np.stack([
+            rng.integers(0, part_b.shape[0], size=part_a.shape[0])
+            for _ in range(rounds)
+        ]) if rounds else np.zeros((0, part_a.shape[0]), dtype=np.int64)
+        return PairPlan(
+            local_src=local_src, local_dst=local_dst,
+            pos_src_scatter=plan_scatter(local_src),
+            pos_dst_scatter=plan_scatter(local_dst),
+            neg_targets=neg_targets,
+            neg_scatters=tuple(plan_scatter(row) for row in neg_targets),
+        )
+
     def train_pair(self, part_a: np.ndarray, part_b: np.ndarray,
                    sub_a: np.ndarray, sub_b: np.ndarray,
                    pos_src: np.ndarray, pos_dst: np.ndarray,
@@ -175,12 +267,13 @@ class VectorizedBackend:
                    device: SimulatedDevice | None = None,
                    warp_config: WarpConfig | None = None,
                    index_a: np.ndarray | None = None,
-                   index_b: np.ndarray | None = None) -> None:
-        if pos_src.shape[0] != pos_dst.shape[0]:
-            raise ValueError("pos_src and pos_dst must have equal length")
+                   index_b: np.ndarray | None = None,
+                   plan: PairPlan | None = None) -> None:
+        if plan is None:
+            plan = self.prepare_pair(part_a, part_b, pos_src, pos_dst, ns, rng,
+                                     index_a=index_a, index_b=index_b)
         sig = self._sig
-        local_src, local_dst = resolve_pair_locals(pos_src, pos_dst, part_a, part_b,
-                                                   index_a, index_b)
+        local_src, local_dst = plan.local_src, plan.local_dst
 
         # Positive updates: scores from the pre-update vectors, conflicts
         # accumulated with the deterministic segment sum (positive pools
@@ -191,21 +284,18 @@ class VectorizedBackend:
             dst_vecs = sub_b[local_dst]
             scores = (1.0 - sig(np.einsum("ij,ij->i", src_vecs, dst_vecs))) * lr
             new_src = src_vecs + dst_vecs * scores[:, None]
-            _segment_scatter_add(sub_a, local_src, dst_vecs * scores[:, None])
-            _segment_scatter_add(sub_b, local_dst, new_src * scores[:, None])
+            plan.pos_src_scatter.apply(sub_a, dst_vecs * scores[:, None])
+            plan.pos_dst_scatter.apply(sub_b, new_src * scores[:, None])
 
         # Negative rounds: one per ns, sources are every vertex of part A
         # (unique, so the source side needs no conflict resolution at all).
-        if ns > 0 and part_a.shape[0] and part_b.shape[0]:
-            neg_sources = np.arange(part_a.shape[0], dtype=np.int64)
-            for _ in range(ns):
-                neg_targets = rng.integers(0, part_b.shape[0], size=neg_sources.shape[0])
-                src_vecs = sub_a[neg_sources]
-                dst_vecs = sub_b[neg_targets]
-                scores = (0.0 - sig(np.einsum("ij,ij->i", src_vecs, dst_vecs))) * lr
-                new_src = src_vecs + dst_vecs * scores[:, None]
-                sub_a += dst_vecs * scores[:, None]
-                _segment_scatter_add(sub_b, neg_targets, new_src * scores[:, None])
+        for neg_targets, neg_scatter in zip(plan.neg_targets, plan.neg_scatters):
+            src_vecs = sub_a
+            dst_vecs = sub_b[neg_targets]
+            scores = (0.0 - sig(np.einsum("ij,ij->i", src_vecs, dst_vecs))) * lr
+            new_src = src_vecs + dst_vecs * scores[:, None]
+            sub_a += dst_vecs * scores[:, None]
+            neg_scatter.apply(sub_b, new_src * scores[:, None])
 
         record_pair_cost(device, local_src.shape[0], part_a.shape[0], ns,
                          sub_a.shape[1], warp_config=warp_config)

@@ -14,6 +14,13 @@ layer in :mod:`repro.gpu.backends`:
   through a :class:`FilteredAdjacencyCache`.  Default; ≥5× faster pool
   production on 50k-edge graphs (floor enforced by
   ``benchmarks/test_sampler_backend_perf.py``).
+* ``"degree_biased"`` — GraphVite-style positive weighting: a vertex's
+  partner-part neighbours are drawn proportionally to ``deg^0.75`` instead
+  of uniformly, concentrating positive updates on hub neighbours.  Consumes
+  randomness exactly like the other backends (one row of B uniforms per
+  eligible vertex) but maps each uniform through the row's cumulative
+  weight profile, so it shares the batched machinery without sharing the
+  uniform-draw semantics (no reference-parity claim).
 
 **Exact parity.**  Both backends consume randomness identically: one row of
 ``count_per_vertex`` float64 uniforms per *eligible* vertex (a vertex with at
@@ -31,6 +38,7 @@ negligible against the paper's "almost equivalent to B×K epochs" caveat.)
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
@@ -47,6 +55,7 @@ __all__ = [
     "SamplerBackend",
     "ReferenceSamplerBackend",
     "VectorizedSamplerBackend",
+    "DegreeBiasedSamplerBackend",
     "UnknownSamplerBackendError",
     "DEFAULT_SAMPLER_BACKEND",
     "register_sampler_backend",
@@ -130,6 +139,11 @@ class FilteredAdjacencyCache:
     the cache belongs to one (graph, partition) pair, so every rotation of the
     large-graph engine reuses the same filtered neighbour lists instead of
     re-masking the adjacency on every pool build.
+
+    Thread-safe: the pipelined large-graph engine builds pools on a producer
+    thread while on-demand ``acquire`` misses may build on the consumer, so
+    lookup-or-build runs under a lock (entries are immutable once built and a
+    one-time build per direction is cheap enough to serialise).
     """
 
     def __init__(self, graph: "CSRGraph", partition: "VertexPartition"):
@@ -137,34 +151,39 @@ class FilteredAdjacencyCache:
         self.partition = partition
         self._entries: dict[tuple[int, int], FilteredAdjacency] = {}
         self._masks: dict[int, np.ndarray] = {}
+        self._lock = threading.RLock()
         self.builds = 0
         self.hits = 0
 
     def mask(self, part: int) -> np.ndarray:
-        mask = self._masks.get(part)
-        if mask is None:
-            mask = self.partition.mask(part)
-            self._masks[part] = mask
-        return mask
+        with self._lock:
+            mask = self._masks.get(part)
+            if mask is None:
+                mask = self.partition.mask(part)
+                self._masks[part] = mask
+            return mask
 
     def get(self, from_part: int, to_part: int) -> FilteredAdjacency:
         key = (from_part, to_part)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.builds += 1
-            entry = build_filtered_adjacency(
-                self.graph, self.partition.parts[from_part], self.mask(to_part))
-            self._entries[key] = entry
-        else:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.builds += 1
+                entry = build_filtered_adjacency(
+                    self.graph, self.partition.parts[from_part], self.mask(to_part))
+                self._entries[key] = entry
+            else:
+                self.hits += 1
+            return entry
 
     def nbytes(self) -> int:
-        return sum(entry.nbytes() for entry in self._entries.values())
+        with self._lock:
+            return sum(entry.nbytes() for entry in self._entries.values())
 
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._entries), "builds": self.builds,
-                "hits": self.hits, "nbytes": self.nbytes()}
+        with self._lock:
+            return {"entries": len(self._entries), "builds": self.builds,
+                    "hits": self.hits, "nbytes": self.nbytes()}
 
 
 # --------------------------------------------------------------------------- #
@@ -262,6 +281,55 @@ class VectorizedSamplerBackend:
         return src, dst
 
 
+class DegreeBiasedSamplerBackend:
+    """GraphVite-style ``deg^0.75`` positive-neighbour weighting.
+
+    For every eligible vertex the partner-part neighbour is drawn with
+    probability proportional to ``deg(neighbour)^power`` (global degree),
+    instead of uniformly — the word2vec/GraphVite noise exponent applied to
+    the *positive* pool, for hub-emphasis ablations.  Randomness is consumed
+    exactly like the uniform backends (one row of ``B`` float64 uniforms per
+    eligible vertex); each uniform is mapped through the row's cumulative
+    weight profile with a single batched ``searchsorted``.
+    """
+
+    name = "degree_biased"
+    uses_filtered_adjacency = True
+
+    def __init__(self, power: float = 0.75):
+        self.power = float(power)
+
+    def sample_pairs(self, graph: "CSRGraph", part_vertices: np.ndarray,
+                     partner_mask: np.ndarray, count_per_vertex: int,
+                     rng: np.random.Generator, *,
+                     filtered: FilteredAdjacency | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        if filtered is None:
+            filtered = build_filtered_adjacency(graph, part_vertices, partner_mask)
+        counts = filtered.counts
+        eligible = np.flatnonzero(counts > 0)
+        B = int(count_per_vertex)
+        if eligible.shape[0] == 0 or B == 0:
+            return _empty_pairs()
+        targets = filtered.targets
+        deg = (graph.xadj[targets + 1] - graph.xadj[targets]).astype(np.float64)
+        # cumw[j] = total weight of targets[:j]; one prepended zero makes the
+        # per-row slice [cumw[start], cumw[end]) addressable without branches.
+        cumw = np.concatenate(([0.0], np.cumsum(deg ** self.power)))
+        starts = filtered.offsets[eligible]
+        lo = cumw[starts][:, None]
+        span = cumw[starts + counts[eligible]][:, None] - lo
+        u = rng.random((eligible.shape[0], B))
+        # Row-relative weighted pick: position of lo + u*span inside the global
+        # cumulative profile, clipped to the row in case of float round-up.
+        idx = np.searchsorted(cumw[1:], lo + u * span, side="right")
+        idx = np.minimum(np.maximum(idx, starts[:, None]),
+                         (starts + counts[eligible] - 1)[:, None])
+        dst = targets[idx].ravel()
+        src = np.repeat(filtered.vertices[eligible], B)
+        return src, dst
+
+
 # --------------------------------------------------------------------------- #
 # Registry (mirrors repro.gpu.backends)
 # --------------------------------------------------------------------------- #
@@ -272,6 +340,7 @@ DEFAULT_SAMPLER_BACKEND = "vectorized"
 _FACTORIES: dict[str, Callable[[], SamplerBackend]] = {
     "reference": ReferenceSamplerBackend,
     "vectorized": VectorizedSamplerBackend,
+    "degree_biased": DegreeBiasedSamplerBackend,
 }
 _INSTANCES: dict[str, SamplerBackend] = {}
 

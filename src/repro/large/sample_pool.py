@@ -8,15 +8,23 @@ symmetrically for ``V^k`` vs ``V^j``).  Pools are produced ahead of time by
 the SampleManager thread, buffered, and shipped to the device by the
 PoolManager; at most ``S_GPU`` pools are resident.
 
-Here the producer/consumer threads become an explicit pipeline object with
-the same buffering semantics (bounded queue of ready pools, refill on
-consumption); the benchmark harness uses the recorded production/consumption
-counters to show the overlap behaviour, and the scheduler in
-:mod:`repro.large.scheduler` consumes pools exactly as Algorithm 5 does.
+Two properties make the manager safe to drive from a real producer thread
+(see :mod:`repro.large.pipeline`):
+
+* **Order-independent randomness.**  Every pool is drawn from its own seeded
+  stream keyed by ``(seed, POOL_STREAM, rotation, a, b)``, so the pool for a
+  given (rotation, pair) has identical contents whether it was built eagerly
+  by a background producer, prefetched, or built on an ``acquire`` miss —
+  the property the pipelined/sequential golden-parity tests pin.
+* **Locked shared state.**  The bounded FIFO buffer, the
+  produced/consumed/sample counters, and the filtered-adjacency cache are
+  all lock-protected; the sampling itself (pure NumPy) runs outside the
+  lock, so concurrent builders do not serialise on the hot path.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -31,7 +39,21 @@ from ..graph.sampler_backends import (
     get_sampler_backend,
 )
 
-__all__ = ["SamplePool", "SamplePoolManager"]
+__all__ = ["SamplePool", "SamplePoolManager", "POOL_STREAM", "pool_rng"]
+
+#: Stream tag separating pool draws from the kernel-side negative streams
+#: (see :data:`repro.large.pipeline.KERNEL_STREAM`).
+POOL_STREAM = 1
+
+
+def pool_rng(seed: int, rotation: int, part_a: int, part_b: int) -> np.random.Generator:
+    """The seeded generator owning one (rotation, pair) pool's randomness.
+
+    Keying the stream by content rather than draw order is what makes pool
+    contents independent of *production* order — the producer thread, an
+    inline prefetch, and an acquire-miss rebuild all draw identical pools.
+    """
+    return np.random.default_rng((seed, POOL_STREAM, rotation, part_a, part_b))
 
 
 @dataclass
@@ -73,9 +95,9 @@ class SamplePoolManager:
         device" at once.
     sampler_backend:
         The part-pair sampling engine (``"reference"`` loop oracle,
-        ``"vectorized"`` batched default, or any registered backend — see
-        :mod:`repro.graph.sampler_backends`).  Both built-ins draw identical
-        pairs from the same seed.
+        ``"vectorized"`` batched default, ``"degree_biased"`` hub-weighted,
+        or any registered backend — see :mod:`repro.graph.sampler_backends`).
+        The two uniform built-ins draw identical pairs from the same seed.
     """
 
     graph: CSRGraph
@@ -87,11 +109,18 @@ class SamplePoolManager:
     pools_produced: int = 0
     pools_consumed: int = 0
     samples_produced: int = 0
-    _buffer: "OrderedDict[tuple[int, int], SamplePool]" = field(default_factory=OrderedDict)
-    _rng: np.random.Generator = field(default=None)  # type: ignore[assignment]
+    #: Buffered pools keyed by ``(rotation, max(pair), min(pair))`` — the
+    #: rotation is part of the key because pool contents are keyed streams:
+    #: a pool prefetched for rotation 7 must never satisfy an acquire for
+    #: rotation 2.
+    _buffer: "OrderedDict[tuple[int, int, int], SamplePool]" = field(default_factory=OrderedDict)
 
     def __post_init__(self) -> None:
-        self._rng = np.random.default_rng(self.seed)
+        self._lock = threading.Lock()
+        #: Keys a concurrent ``prefetch`` has claimed but not yet delivered;
+        #: they count against ``max_resident_pools`` so two threads filling
+        #: the buffer at once cannot overshoot it.
+        self._pending: set[tuple[int, int, int]] = set()
         self._sampler = get_sampler_backend(self.sampler_backend)
         # Filtered sub-CSRs (edges landing in the partner part) are built once
         # per (part, partner-part) direction and reused across rotations.
@@ -103,7 +132,8 @@ class SamplePoolManager:
     # ------------------------------------------------------------------ #
     # Production (SampleManager role)
     # ------------------------------------------------------------------ #
-    def _sample_direction(self, from_part: int, to_part: int) -> tuple[np.ndarray, np.ndarray]:
+    def _sample_direction(self, from_part: int, to_part: int,
+                          rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
         """For every vertex of ``from_part``, draw B neighbours inside ``to_part``."""
         # Only build (and hold) the filtered sub-CSR for backends that read
         # it — the reference oracle walks the graph itself.  Third-party
@@ -113,58 +143,107 @@ class SamplePoolManager:
                     else None)
         return self._sampler.sample_pairs(
             self.graph, self.partition.parts[from_part], self._masks[to_part],
-            self.batch_per_vertex, self._rng, filtered=filtered)
+            self.batch_per_vertex, rng, filtered=filtered)
 
-    def build_pool(self, part_a: int, part_b: int) -> SamplePool:
-        """Build the pool for one part pair (both sampling directions)."""
-        src_ab, dst_ab = self._sample_direction(part_a, part_b)
+    def _build(self, part_a: int, part_b: int, rotation: int) -> SamplePool:
+        """Draw one pool from its keyed stream (no counters, no buffering)."""
+        rng = pool_rng(self.seed, rotation, part_a, part_b)
+        src_ab, dst_ab = self._sample_direction(part_a, part_b, rng)
         if part_a != part_b:
-            src_ba, dst_ba = self._sample_direction(part_b, part_a)
+            src_ba, dst_ba = self._sample_direction(part_b, part_a, rng)
             src = np.concatenate([src_ab, src_ba])
             dst = np.concatenate([dst_ab, dst_ba])
         else:
             src, dst = src_ab, dst_ab
-        pool = SamplePool(part_a=part_a, part_b=part_b, src=src, dst=dst)
-        self.pools_produced += 1
-        self.samples_produced += pool.num_samples
+        return SamplePool(part_a=part_a, part_b=part_b, src=src, dst=dst)
+
+    def build_pool(self, part_a: int, part_b: int, *, rotation: int = 0) -> SamplePool:
+        """Build the pool for one part pair (both sampling directions)."""
+        pool = self._build(part_a, part_b, rotation)
+        with self._lock:
+            self.pools_produced += 1
+            self.samples_produced += pool.num_samples
         return pool
 
-    def prefetch(self, upcoming_pairs: list[tuple[int, int]]) -> None:
-        """Fill the buffer with pools for the next pairs (PoolManager role)."""
+    def prefetch(self, upcoming_pairs: list[tuple[int, int]], *,
+                 rotation: int = 0) -> None:
+        """Fill the buffer with pools for the next pairs (PoolManager role).
+
+        Safe to call concurrently with ``acquire``/``prefetch`` from other
+        threads: a key is *claimed* under the lock before its (unlocked)
+        build, so the buffer plus in-flight claims never exceed
+        ``max_resident_pools`` and no pair is built twice.
+        """
         for pair in upcoming_pairs:
-            if len(self._buffer) >= self.max_resident_pools:
-                break
-            key = (max(pair), min(pair))
-            if key not in self._buffer:
-                self._buffer[key] = self.build_pool(*key)
+            key = (rotation, max(pair), min(pair))
+            with self._lock:
+                if len(self._buffer) + len(self._pending) >= self.max_resident_pools:
+                    break
+                if key in self._buffer or key in self._pending:
+                    continue
+                self._pending.add(key)
+            try:
+                pool = self._build(key[1], key[2], rotation)
+            except BaseException:
+                with self._lock:
+                    self._pending.discard(key)
+                raise
+            with self._lock:
+                self._pending.discard(key)
+                self._buffer[key] = pool
+                self.pools_produced += 1
+                self.samples_produced += pool.num_samples
 
     # ------------------------------------------------------------------ #
     # Consumption (device side of Algorithm 5, line 10)
     # ------------------------------------------------------------------ #
-    def acquire(self, part_a: int, part_b: int) -> SamplePool:
-        """Get (building if necessary) and consume the pool for a pair."""
-        key = (max(part_a, part_b), min(part_a, part_b))
-        pool = self._buffer.pop(key, None)
-        if pool is None:
-            pool = self.build_pool(*key)
-        self.pools_consumed += 1
+    def acquire(self, part_a: int, part_b: int, *, rotation: int = 0) -> SamplePool:
+        """Get (building if necessary) and consume the pool for a pair.
+
+        Only a pool buffered for the *same rotation* is served; a buffer
+        miss (including a racing prefetch that has claimed but not yet
+        delivered the key) builds from the keyed stream, so the returned
+        contents are identical either way.
+        """
+        key = (rotation, max(part_a, part_b), min(part_a, part_b))
+        with self._lock:
+            pool = self._buffer.pop(key, None)
+            if pool is not None:
+                self.pools_consumed += 1
+                return pool
+        pool = self.build_pool(key[1], key[2], rotation=rotation)
+        with self._lock:
+            self.pools_consumed += 1
         return pool
+
+    def note_consumed(self) -> None:
+        """Count a pool consumed outside the buffer path.
+
+        The pipelined executor hands pools over through its own bounded
+        queue rather than the prefetch buffer; it reports each handover here
+        so ``pools_consumed`` stays comparable across execution modes.
+        """
+        with self._lock:
+            self.pools_consumed += 1
 
     @property
     def resident_pools(self) -> int:
-        return len(self._buffer)
+        with self._lock:
+            return len(self._buffer)
 
     @property
     def resident_pool_keys(self) -> list[tuple[int, int]]:
-        """Buffered pool keys, oldest first (bounded-FIFO production order)."""
-        return list(self._buffer)
+        """Buffered pool pairs, oldest first (bounded-FIFO production order)."""
+        with self._lock:
+            return [(a, b) for _, a, b in self._buffer]
 
     def stats(self) -> dict[str, object]:
-        return {
-            "pools_produced": self.pools_produced,
-            "pools_consumed": self.pools_consumed,
-            "samples_produced": self.samples_produced,
-            "resident_pools": self.resident_pools,
-            "sampler_backend": self._sampler.name,
-            "filtered_cache": self._filtered.stats(),
-        }
+        with self._lock:
+            return {
+                "pools_produced": self.pools_produced,
+                "pools_consumed": self.pools_consumed,
+                "samples_produced": self.samples_produced,
+                "resident_pools": len(self._buffer),
+                "sampler_backend": self._sampler.name,
+                "filtered_cache": self._filtered.stats(),
+            }

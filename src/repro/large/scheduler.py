@@ -13,6 +13,14 @@ The number of parts ``K`` is derived from the device-memory budget so that
 ``P_GPU`` sub-matrices plus the sample-pool buffers fit; sub-matrix residency
 is managed by :class:`~repro.large.gpu_state.GPUState` (allocation failures
 on the simulated device are real errors, not warnings).
+
+Pool production runs through a pluggable execution mode (see
+:mod:`repro.large.pipeline`): ``"pipelined"`` (default) produces and
+prepares pools on a background thread behind a bounded ``S_GPU`` queue —
+the paper's SampleManager/PoolManager threads, for real — while
+``"sequential"`` is the single-threaded oracle.  Both are bit-identical
+because every random draw is keyed by (rotation, pair), never by execution
+order.
 """
 
 from __future__ import annotations
@@ -29,6 +37,14 @@ from ..gpu.device import SimulatedDevice
 from ..gpu.streams import StreamTimeline
 from ..gpu.warp import WarpConfig
 from .gpu_state import GPUState
+from .pipeline import (
+    DEFAULT_EXECUTION_MODE,
+    PipelineStats,
+    PoolPreparer,
+    build_schedule,
+    create_executor,
+    normalize_execution_mode,
+)
 from .rotation import inside_out_order
 from .sample_pool import SamplePoolManager
 
@@ -48,6 +64,7 @@ class LargeGraphConfig:
     small_dim_mode: bool = True
     kernel_backend: str = "vectorized"   # pair-kernel layer (see repro.gpu.backends)
     sampler_backend: str = "vectorized"  # host sampler layer (see repro.graph.sampler_backends)
+    execution_mode: str = DEFAULT_EXECUTION_MODE  # pool production (see repro.large.pipeline)
     seed: int = 0
     min_parts: int | None = None         # force K >= min_parts (tests / figure 3)
 
@@ -62,7 +79,12 @@ class LargeGraphStats:
     positive_samples: int = 0
     submatrix_switches: int = 0
     seconds: float = 0.0
+    execution_mode: str = DEFAULT_EXECUTION_MODE
+    pool_stall_seconds: float = 0.0   # kernel time lost waiting on pools
+    pool_produce_seconds: float = 0.0  # build + prepare time (producer side)
+    max_ready_pools: int = 0           # peak ready-queue depth observed
     timeline: StreamTimeline = field(default_factory=StreamTimeline)
+    pipeline: PipelineStats | None = None  # per-pool produce/consume events
 
 
 class LargeGraphTrainer:
@@ -79,7 +101,6 @@ class LargeGraphTrainer:
         n, dim = embedding.shape
         if n != graph.num_vertices:
             raise ValueError("embedding and graph disagree on |V|")
-        rng = np.random.default_rng(cfg.seed)
         lr0 = cfg.learning_rate if base_lr is None else base_lr
 
         # --- Line 1: GetEmbeddingPartInfo -------------------------------- #
@@ -103,56 +124,63 @@ class LargeGraphTrainer:
         state = GPUState(embedding=embedding, parts=partition.parts,
                          device=self.device, num_bins=cfg.resident_submatrices)
         warp_config = WarpConfig(dim=dim, small_dim_mode=cfg.small_dim_mode)
-        stats = LargeGraphStats(num_parts=k, rotations=rotations)
+        stats = LargeGraphStats(num_parts=k, rotations=rotations,
+                                execution_mode=normalize_execution_mode(cfg.execution_mode))
         backend = get_backend(cfg.kernel_backend)
         # One partition-wide global→local lookup array, built once and cached
         # on the partition, replaces the per-kernel-call dict index maps.
         g2l = partition.global_to_local()
+        preparer = PoolPreparer(partition, backend, g2l,
+                                cfg.negative_samples, cfg.seed)
 
         order = inside_out_order(k)
+        schedule = build_schedule(rotations, order)
+        pcie_bytes_per_second = self.device.spec.pcie_gbps * 1e9
         t0 = perf_counter()
-        total_kernels = rotations * len(order)
-        kernel_index = 0
-        for rotation in range(rotations):
-            # Learning rate decays across rotations the way it decays across
-            # epochs in the in-memory trainer.
-            lr = lr0 * max(1.0 - rotation / rotations, cfg.lr_decay_floor)
-            for pair_pos, (a, b) in enumerate(order):
-                upcoming = order[pair_pos + 1:]
-                # Prefetch pools for the next few pairs (PoolManager role).
-                pools.prefetch(upcoming[: cfg.resident_sample_pools])
+        executor = create_executor(cfg.execution_mode, pools, preparer,
+                                   schedule, cfg.resident_sample_pools)
+        with executor:
+            for entry in schedule:
+                # Learning rate decays across rotations the way it decays
+                # across epochs in the in-memory trainer.
+                lr = lr0 * max(1.0 - entry.rotation / rotations, cfg.lr_decay_floor)
+                a, b = entry.pair
+                upcoming = order[entry.pair_index + 1:]
                 state.ensure_pair(a, b, upcoming=upcoming)
-                pool = pools.acquire(a, b)
+                ready = executor.next_ready()
+                pool = ready.pool
 
-                sub_a = state.submatrix(a)
-                sub_b = state.submatrix(b) if b != a else sub_a
-                # Split the pool by direction: sources in part a vs part b.
-                in_a = partition.part_of[pool.src] == a
+                # Ship the pool: an H2D copy on the simulated timeline, so
+                # serial_makespan prices transfers, not just kernels.
+                stats.timeline.record_copy(pool.nbytes() / pcie_bytes_per_second,
+                                           label=f"pool({a},{b})", direction="h2d")
+
+                sub = {a: state.submatrix(a)}
+                sub[b] = state.submatrix(b) if b != a else sub[a]
                 t_kernel = perf_counter()
-                if np.any(in_a):
+                for direction in ready.directions:
+                    extra = {} if direction.plan is None else {"plan": direction.plan}
                     backend.train_pair(
-                        partition.parts[a], partition.parts[b], sub_a, sub_b,
-                        pool.src[in_a], pool.dst[in_a], cfg.negative_samples, lr, rng,
+                        partition.parts[direction.from_part],
+                        partition.parts[direction.to_part],
+                        sub[direction.from_part], sub[direction.to_part],
+                        direction.src, direction.dst,
+                        cfg.negative_samples, lr, ready.rng,
                         device=self.device, warp_config=warp_config,
-                        index_a=g2l, index_b=g2l,
-                    )
-                if a != b and np.any(~in_a):
-                    backend.train_pair(
-                        partition.parts[b], partition.parts[a], sub_b, sub_a,
-                        pool.src[~in_a], pool.dst[~in_a], cfg.negative_samples, lr, rng,
-                        device=self.device, warp_config=warp_config,
-                        index_a=g2l, index_b=g2l,
+                        index_a=g2l, index_b=g2l, **extra,
                     )
                 kernel_seconds = perf_counter() - t_kernel
                 stats.timeline.record_kernel(kernel_seconds, label=f"pair({a},{b})",
-                                             wait_for_copies=(pair_pos == 0))
+                                             wait_for_copies=(entry.pair_index == 0))
                 stats.kernels += 1
                 stats.positive_samples += pool.num_samples
-                kernel_index += 1
-        _ = total_kernels, kernel_index
         state.flush()
         stats.submatrix_switches = state.switches
         stats.seconds = perf_counter() - t0
+        stats.pipeline = executor.stats
+        stats.pool_stall_seconds = executor.stats.stall_seconds
+        stats.pool_produce_seconds = executor.stats.produce_seconds
+        stats.max_ready_pools = executor.stats.max_queue_depth
         return stats
 
 

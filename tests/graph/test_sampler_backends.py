@@ -17,6 +17,7 @@ import pytest
 from repro.graph import (
     CSRGraph,
     DEFAULT_SAMPLER_BACKEND,
+    DegreeBiasedSamplerBackend,
     PositiveSampler,
     ReferenceSamplerBackend,
     UnknownSamplerBackendError,
@@ -34,6 +35,8 @@ from repro.graph import (
 from repro.graph.sampler_backends import FilteredAdjacencyCache, pick_indices
 
 BACKENDS = ("reference", "vectorized")
+#: Every built-in, including the weighted sampler (no reference-parity claim).
+ALL_BACKENDS = BACKENDS + ("degree_biased",)
 
 
 def _pair_draw(graph, part_vertices, partner_mask, B, backend, seed=123):
@@ -196,21 +199,21 @@ class TestDistribution:
         partition = contiguous_partition(g.num_vertices, 3)
         return g, partition
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_src_in_part_a_dst_in_part_b(self, setup, backend):
         g, partition = setup
         src, dst = _pair_draw(g, partition.parts[0], partition.mask(1), 5, backend)
         assert np.all(partition.part_of[src] == 0)
         assert np.all(partition.part_of[dst] == 1)
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_every_pair_is_an_edge(self, setup, backend):
         g, partition = setup
         src, dst = _pair_draw(g, partition.parts[2], partition.mask(0), 3, backend)
         for s, d in zip(src, dst):
             assert g.has_edge(int(s), int(d))
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_eligible_vertices_contribute_exactly_B(self, setup, backend):
         g, partition = setup
         B = 4
@@ -224,7 +227,7 @@ class TestDistribution:
             eligible = bool(nbrs.shape[0]) and bool(mask[nbrs].any())
             assert counts[v] == (B if eligible else 0)
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_isolated_vertices_excluded(self, backend):
         g = CSRGraph.from_edges(6, [(0, 3), (1, 4)])   # 2 and 5 isolated
         mask = np.zeros(6, dtype=bool)
@@ -233,7 +236,7 @@ class TestDistribution:
         assert 2 not in src
         assert np.array_equal(np.unique(src), [0, 1])
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_vertex_without_partner_neighbours_excluded(self, backend):
         # 0-1 edge stays inside part_a; only 2-3 crosses into the partner.
         g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
@@ -243,7 +246,7 @@ class TestDistribution:
         assert np.array_equal(np.unique(src), [2])
         assert np.all(dst == 3)
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_empty_part_returns_empty_int64(self, setup, backend):
         g, partition = setup
         src, dst = _pair_draw(g, np.zeros(0, dtype=np.int64), partition.mask(0),
@@ -251,7 +254,7 @@ class TestDistribution:
         assert src.shape == dst.shape == (0,)
         assert src.dtype == dst.dtype == np.int64
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_empty_mask_returns_empty(self, setup, backend):
         g, partition = setup
         src, dst = _pair_draw(g, partition.parts[0],
@@ -282,3 +285,73 @@ class TestBackendThroughSampler:
     def test_unknown_backend_name_raises(self, tiny_graph):
         with pytest.raises(UnknownSamplerBackendError):
             PositiveSampler(tiny_graph, sampler_backend="warp-speed")
+
+
+class TestDegreeBiased:
+    """GraphVite-style deg^0.75 weighting of positive-neighbour draws."""
+
+    def _hub_leaf_graph(self, hub_fanout=15):
+        # Vertex 0 (the sampled part) has two partner-part neighbours: a hub
+        # (vertex 1, degree 1 + hub_fanout) and a leaf (vertex 2, degree 1).
+        n = 3 + hub_fanout
+        edges = [(0, 1), (0, 2)] + [(1, 3 + i) for i in range(hub_fanout)]
+        return CSRGraph.from_edges(n, edges)
+
+    def test_registered_builtin(self):
+        assert "degree_biased" in available_sampler_backends()
+        backend = get_sampler_backend("degree_biased")
+        assert isinstance(backend, DegreeBiasedSamplerBackend)
+        assert backend.power == 0.75
+        assert backend.uses_filtered_adjacency
+
+    def test_hub_neighbours_oversampled_at_power(self):
+        fanout = 15
+        g = self._hub_leaf_graph(fanout)
+        mask = np.zeros(g.num_vertices, dtype=bool)
+        mask[[1, 2]] = True
+        draws = 4000
+        _, dst = _pair_draw(g, np.array([0]), mask, draws, "degree_biased")
+        hub, leaf = int((dst == 1).sum()), int((dst == 2).sum())
+        assert hub + leaf == draws
+        expected = (1 + fanout) ** 0.75          # deg(hub)^0.75 / deg(leaf)^0.75
+        assert hub / max(leaf, 1) == pytest.approx(expected, rel=0.25)
+
+    def test_uniform_backend_has_no_such_bias(self):
+        """Control: the uniform sampler splits the same pair evenly."""
+        g = self._hub_leaf_graph(15)
+        mask = np.zeros(g.num_vertices, dtype=bool)
+        mask[[1, 2]] = True
+        _, dst = _pair_draw(g, np.array([0]), mask, 4000, "vectorized")
+        hub = int((dst == 1).sum())
+        assert hub / 4000 == pytest.approx(0.5, abs=0.05)
+
+    def test_equal_degrees_reduce_to_uniform_support(self):
+        """On a ring every neighbour has equal degree: both partner
+        neighbours must appear, roughly evenly."""
+        g = ring(12)
+        mask = np.zeros(12, dtype=bool)
+        mask[[1, 11]] = True
+        _, dst = _pair_draw(g, np.array([0]), mask, 2000, "degree_biased")
+        share = int((dst == 1).sum()) / 2000
+        assert 0.4 < share < 0.6
+
+    def test_samples_remain_valid_edges(self):
+        g = social_community(300, intra_degree=6, seed=4)
+        partition = contiguous_partition(g.num_vertices, 3)
+        src, dst = _pair_draw(g, partition.parts[0], partition.mask(1), 5,
+                              "degree_biased")
+        assert src.shape == dst.shape and src.shape[0] > 0
+        for s, d in zip(src, dst):
+            assert g.has_edge(int(s), int(d))
+        assert np.all(partition.part_of[src] == 0)
+        assert np.all(partition.part_of[dst] == 1)
+
+    def test_custom_power_instance(self):
+        """power=0 degenerates to uniform weighting over the support."""
+        g = self._hub_leaf_graph(15)
+        mask = np.zeros(g.num_vertices, dtype=bool)
+        mask[[1, 2]] = True
+        sampler = PositiveSampler(g, seed=123,
+                                  sampler_backend=DegreeBiasedSamplerBackend(power=0.0))
+        _, dst = sampler.sample_pairs_for_part(np.array([0]), mask, 4000)
+        assert int((dst == 1).sum()) / 4000 == pytest.approx(0.5, abs=0.05)
