@@ -28,6 +28,8 @@ from repro.gpu import get_backend
 from repro.graph import powerlaw_cluster
 from repro.graph.samplers import NegativeSampler, PositiveSampler
 
+from conftest import record_perf_json
+
 pytestmark = pytest.mark.perf
 
 #: Thresholds are deliberately below the locally measured ratios (~10x epoch,
@@ -74,6 +76,12 @@ class TestVectorizedSpeedup:
         print(f"\n[perf] epoch kernel on |V|={g.num_vertices}, |E|={g.num_undirected_edges}: "
               f"reference={times['reference'] * 1e3:.1f}ms "
               f"vectorized={times['vectorized'] * 1e3:.1f}ms speedup={speedup:.1f}x")
+        record_perf_json("kernel_epoch_perf", {
+            "vertices": g.num_vertices, "edges": g.num_undirected_edges,
+            "reference_ms": round(times["reference"] * 1e3, 2),
+            "vectorized_ms": round(times["vectorized"] * 1e3, 2),
+            "speedup": round(speedup, 2), "floor": EPOCH_SPEEDUP_FLOOR,
+        })
         assert speedup >= EPOCH_SPEEDUP_FLOOR, (
             f"vectorized backend is only {speedup:.1f}x faster "
             f"(required: {EPOCH_SPEEDUP_FLOOR}x)")
@@ -105,6 +113,12 @@ class TestVectorizedSpeedup:
         print(f"\n[perf] pair kernel (|V^a|={half}, B={B}): "
               f"reference={times['reference'] * 1e3:.1f}ms "
               f"vectorized={times['vectorized'] * 1e3:.1f}ms speedup={speedup:.1f}x")
+        record_perf_json("kernel_pair_perf", {
+            "part_size": half, "batch_per_vertex": B,
+            "reference_ms": round(times["reference"] * 1e3, 2),
+            "vectorized_ms": round(times["vectorized"] * 1e3, 2),
+            "speedup": round(speedup, 2), "floor": PAIR_SPEEDUP_FLOOR,
+        })
         assert speedup >= PAIR_SPEEDUP_FLOOR, (
             f"vectorized pair kernel is only {speedup:.1f}x faster "
             f"(required: {PAIR_SPEEDUP_FLOOR}x)")

@@ -34,6 +34,8 @@ from repro.gpu import DeviceSpec, SimulatedDevice
 from repro.graph import powerlaw_cluster
 from repro.large import LargeGraphConfig, LargeGraphTrainer
 
+from conftest import record_perf_json
+
 pytestmark = pytest.mark.perf
 
 #: Floor deliberately below the ideal-overlap ceiling (~1.7x on this
@@ -102,6 +104,17 @@ class TestPipelineSpeedup:
         # Scheduling must never change the result.
         assert np.array_equal(embeddings["sequential"], embeddings["pipelined"])
         assert stats["pipelined"].max_ready_pools <= 4   # S_GPU bound held
+
+        record_perf_json("pipeline_perf", {
+            "vertices": g.num_vertices, "edges": g.num_undirected_edges,
+            "parts": NUM_PARTS, "cpus": _cpus(),
+            "sequential_ms": round(times["sequential"] * 1e3, 1),
+            "pipelined_ms": round(times["pipelined"] * 1e3, 1),
+            "produce_ms": round(produce * 1e3, 1),
+            "stall_ms": round(stats["pipelined"].pool_stall_seconds * 1e3, 1),
+            "speedup": round(times["sequential"] / times["pipelined"], 3),
+            "floor": PIPELINE_SPEEDUP_FLOOR,
+        })
 
         if _cpus() < 2:
             pytest.skip("thread overlap needs >= 2 CPUs; "

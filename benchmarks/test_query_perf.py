@@ -1,0 +1,94 @@
+"""Perf smoke test: blocked vs exact k-NN query serving throughput.
+
+Asserts the tentpole claim of the query layer on a 50k x 64 float32 matrix
+with a 96-query microbatch (the serving shape: many small concurrent
+requests stacked by ``EmbeddingService.query_batch``): the ``"blocked"``
+backend — chunked matmul, per-block candidate selection, no materialised
+``|V| x Q`` score matrix, no full sorts — answers **≥ 5×** faster than the
+``"exact"`` brute-force oracle.  Both backends return bit-identical answers
+(asserted here too, on the measured batch), so the comparison is
+answer-for-answer.
+
+Marked ``perf`` so the tier-1 job skips it (``-m "not perf"``); the CI
+perf-smoke job runs it non-blockingly and uploads the JSON recorded via
+``record_perf_json`` as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.query import PreparedMatrix, get_query_backend
+
+from conftest import record_perf_json
+
+pytestmark = pytest.mark.perf
+
+#: Floor deliberately below the locally measured ratio (~9-10x) so a noisy
+#: CI runner does not flake the job.
+QUERY_SPEEDUP_FLOOR = 5.0
+REPS = 3
+
+NUM_ROWS = int(os.environ.get("REPRO_QUERY_BENCH_ROWS", "50000"))
+DIM = int(os.environ.get("REPRO_QUERY_BENCH_DIM", "64"))
+NUM_QUERIES = int(os.environ.get("REPRO_QUERY_BENCH_QUERIES", "96"))
+TOP_K = 10
+BLOCK_ROWS = 4096
+
+
+def _best_of(reps: int, fn) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+class TestQueryThroughput:
+    def test_blocked_backend_5x_on_50k_vertices(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.standard_normal((NUM_ROWS, DIM)).astype(np.float32)
+        queries = rng.standard_normal((NUM_QUERIES, DIM)).astype(np.float32)
+        prepared = PreparedMatrix(matrix, metric="cosine")
+        prepared.inv_norms                      # shared precompute off the clock
+
+        times = {}
+        answers = {}
+        for name in ("exact", "blocked"):
+            backend = get_query_backend(name)
+
+            def batch(backend=backend):
+                return backend.topk(prepared, queries, TOP_K,
+                                    block_rows=BLOCK_ROWS)
+
+            answers[name] = batch()             # warm-up (and parity check)
+            times[name] = _best_of(REPS, batch)
+
+        # Work-for-work: identical ids and score bits on the measured batch.
+        assert (answers["exact"][0] == answers["blocked"][0]).all()
+        assert (answers["exact"][1] == answers["blocked"][1]).all()
+
+        speedup = times["exact"] / times["blocked"]
+        queries_per_s = NUM_QUERIES / times["blocked"]
+        print(f"\n[perf] top-{TOP_K} over {NUM_ROWS}x{DIM} "
+              f"({NUM_QUERIES}-query microbatch, block_rows={BLOCK_ROWS}): "
+              f"exact={times['exact'] * 1e3:.1f}ms "
+              f"blocked={times['blocked'] * 1e3:.1f}ms "
+              f"speedup={speedup:.1f}x ({queries_per_s:,.0f} queries/s)")
+        record_perf_json("query_backend_perf", {
+            "rows": NUM_ROWS, "dim": DIM, "queries": NUM_QUERIES,
+            "top_k": TOP_K, "block_rows": BLOCK_ROWS,
+            "exact_ms": round(times["exact"] * 1e3, 2),
+            "blocked_ms": round(times["blocked"] * 1e3, 2),
+            "speedup": round(speedup, 2),
+            "queries_per_s": round(queries_per_s, 1),
+            "floor": QUERY_SPEEDUP_FLOOR,
+        })
+        assert speedup >= QUERY_SPEEDUP_FLOOR, (
+            f"blocked query backend is only {speedup:.1f}x faster "
+            f"(required: {QUERY_SPEEDUP_FLOOR}x)")

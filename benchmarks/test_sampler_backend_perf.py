@@ -27,6 +27,8 @@ from repro.graph import contiguous_partition, powerlaw_cluster
 from repro.large import SamplePoolManager
 from repro.large.rotation import inside_out_order
 
+from conftest import record_perf_json
+
 pytestmark = pytest.mark.perf
 
 #: Floor deliberately below the locally measured ratio (~40-80x) so a noisy
@@ -80,6 +82,13 @@ class TestSamplerSpeedup:
               f"|E|={g.num_undirected_edges} (K={NUM_PARTS}, B={B}): "
               f"reference={times['reference'] * 1e3:.1f}ms "
               f"vectorized={times['vectorized'] * 1e3:.1f}ms speedup={speedup:.1f}x")
+        record_perf_json("sampler_pool_perf", {
+            "vertices": g.num_vertices, "edges": g.num_undirected_edges,
+            "parts": NUM_PARTS, "batch_per_vertex": B,
+            "reference_ms": round(times["reference"] * 1e3, 2),
+            "vectorized_ms": round(times["vectorized"] * 1e3, 2),
+            "speedup": round(speedup, 2), "floor": POOL_SPEEDUP_FLOOR,
+        })
         assert speedup >= POOL_SPEEDUP_FLOOR, (
             f"vectorized sampler is only {speedup:.1f}x faster "
             f"(required: {POOL_SPEEDUP_FLOOR}x)")

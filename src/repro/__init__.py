@@ -20,6 +20,12 @@ The package is organised around the paper's own structure:
 * :mod:`repro.api` — the unified tool layer: the ``EmbeddingTool`` protocol,
   the canonical ``EmbeddingResult``, the global tool registry, and the
   serving-oriented ``EmbeddingService`` facade.
+* :mod:`repro.store` — the versioned on-disk embedding store: ``.npy``
+  shards plus JSON manifests keyed by (graph fingerprint, config hash,
+  tool, version), with memory-mapped loads and version GC.
+* :mod:`repro.query` — k-NN similarity serving over stored embeddings:
+  ``QueryEngine`` with pluggable top-k backends (``blocked`` default,
+  ``exact`` oracle).
 * :mod:`repro.harness` — dataset registry (Table 2 twins), experiment
   runner (registry-backed), and table formatting used by the benchmarks.
 
@@ -40,12 +46,14 @@ Quickstart — every backend behind one interface::
     print(api.available_tools())
 """
 
-from . import api, baselines, coarsening, embedding, eval, gpu, graph, harness, large
+from . import api, baselines, coarsening, embedding, eval, gpu, graph, harness, large, query, store
 from .api import EmbeddingResult, EmbeddingService, available_tools, get_tool
 from .embedding import FAST, NO_COARSE, NORMAL, SLOW, GoshConfig, GoshEmbedder, GoshResult, embed
 from .graph import CSRGraph
+from .query import QueryEngine
+from .store import EmbeddingStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
@@ -57,6 +65,10 @@ __all__ = [
     "graph",
     "harness",
     "large",
+    "query",
+    "store",
+    "QueryEngine",
+    "EmbeddingStore",
     "EmbeddingResult",
     "EmbeddingService",
     "available_tools",

@@ -35,7 +35,13 @@ from .registry import (
     unregister_tool,
 )
 from .result import EmbeddingResult, summarize_large_graph_stats
-from .service import BatchFailure, EmbedRequest, EmbeddingService
+from .service import (
+    BatchFailure,
+    EmbedRequest,
+    EmbeddingService,
+    QueryRequest,
+    QueryResponse,
+)
 from .tools import (
     BaseEmbeddingTool,
     GoshTool,
@@ -62,6 +68,8 @@ __all__ = [
     "summarize_large_graph_stats",
     "EmbedRequest",
     "BatchFailure",
+    "QueryRequest",
+    "QueryResponse",
     "EmbeddingService",
     "BaseEmbeddingTool",
     "GoshTool",

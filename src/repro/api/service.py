@@ -11,22 +11,33 @@ and the service
   the same graph arriving in many requests — pay for MultiEdgeCollapse once,
 * processes batches of :class:`EmbedRequest` objects sequentially while
   reporting structured progress through callbacks,
-* keeps serving counters (requests served, cache hit rate) for observability.
+* serves k-NN queries through :meth:`EmbeddingService.query` — the
+  embed-if-missing facade over the :class:`~repro.store.EmbeddingStore` and
+  :class:`~repro.query.QueryEngine` — microbatching concurrent
+  :class:`QueryRequest` batches that hit the same engine,
+* keeps serving counters (requests served, cache hit rate, store and query
+  stats) for observability.
 
 Example::
 
     from repro.api import EmbeddingService
 
-    service = EmbeddingService(dim=32, epoch_scale=0.05)
+    service = EmbeddingService(dim=32, epoch_scale=0.05, store="embeddings/")
     first = service.embed("gosh-normal", graph)      # coarsens
     second = service.embed("gosh-fast", graph)       # reuses the hierarchy
     assert second.stats["hierarchy_cache_hit"]
+    answer = service.query("gosh-fast", graph, vertices=[0, 7], k=5)
+    assert answer.store_hit                          # served off the store
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from ..graph.csr import CSRGraph
 from .cache import HierarchyCache
@@ -37,8 +48,11 @@ from .result import EmbeddingResult
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..eval.link_prediction import LinkPredictionResult
     from ..gpu.device import SimulatedDevice
+    from ..query.engine import QueryEngine, QueryResult
+    from ..store.store import EmbeddingStore, StoreEntry
 
-__all__ = ["EmbedRequest", "BatchFailure", "EmbeddingService"]
+__all__ = ["EmbedRequest", "BatchFailure", "QueryRequest", "QueryResponse",
+           "EmbeddingService"]
 
 
 @dataclass
@@ -76,13 +90,81 @@ class BatchFailure:
         return name if isinstance(name, str) else name.name
 
 
+@dataclass
+class QueryRequest:
+    """One k-NN unit of service work against the named tool's embedding.
+
+    Exactly one of ``vertices`` (ids into the stored matrix; ``exclude_self``
+    applies) or ``vectors`` (raw ``(d,)``/``(Q, d)`` query vectors) must be
+    set.  ``metric``/``backend`` of ``None`` inherit the service defaults.
+    """
+
+    tool: str | EmbeddingTool
+    graph: CSRGraph
+    vertices: "np.ndarray | list[int] | int | None" = None
+    vectors: "np.ndarray | None" = None
+    k: int = 10
+    metric: str | None = None
+    backend: str | None = None
+    exclude_self: bool = True
+    config_hash: str | None = None    # pin a specific store lineage
+
+    def __post_init__(self) -> None:
+        if (self.vertices is None) == (self.vectors is None):
+            raise ValueError("set exactly one of vertices= or vectors=")
+
+    @property
+    def num_queries(self) -> int:
+        if self.vectors is not None:
+            return int(np.atleast_2d(np.asarray(self.vectors)).shape[0])
+        return int(np.atleast_1d(np.asarray(self.vertices)).shape[0])
+
+
+@dataclass
+class QueryResponse:
+    """A :class:`~repro.query.engine.QueryResult` plus its serving provenance.
+
+    ``store_hit`` is False when the request triggered the embed-if-missing
+    path (the graph had no stored embedding for the tool, so the service
+    embedded and saved it first); ``entry`` is the store version that
+    answered.
+    """
+
+    result: "QueryResult"
+    entry: "StoreEntry"
+    store_hit: bool
+
+    # Convenience pass-throughs so callers can treat the response as a result.
+    @property
+    def ids(self) -> np.ndarray:
+        return self.result.ids
+
+    @property
+    def scores(self) -> np.ndarray:
+        return self.result.scores
+
+
+@dataclass(frozen=True)
+class _EngineKey:
+    """Identity of a memoised QueryEngine: store version x query settings."""
+
+    path: str
+    metric: str
+    backend: str | None = field(default=None)
+
+
 class EmbeddingService:
     """Batched, cached, registry-backed facade over every embedding tool."""
 
     def __init__(self, *, dim: int | None = None, epoch_scale: float = 1.0,
                  device: "SimulatedDevice | None" = None, seed: int = 0,
                  cache_entries: int = 8,
-                 progress: ProgressCallback | None = None):
+                 progress: ProgressCallback | None = None,
+                 store: "EmbeddingStore | str | os.PathLike | None" = None,
+                 metric: str = "cosine",
+                 query_backend: str | None = None,
+                 query_block_rows: int = 4096,
+                 engine_cache_entries: int = 8):
         self.dim = dim
         self.epoch_scale = epoch_scale
         self.device = device
@@ -91,7 +173,48 @@ class EmbeddingService:
         self.hierarchy_cache = HierarchyCache(max_entries=cache_entries)
         self.requests_served = 0
         self.requests_failed = 0
+        self.queries_served = 0
+        self.microbatches = 0
+        self.metric = metric
+        self.query_backend = query_backend
+        self.query_block_rows = query_block_rows
+        # Validate the query knobs eagerly: discovering a bad block size or
+        # metric only after an embed-if-missing has spent minutes training
+        # would waste the whole run.
+        from ..query.backends import METRICS
+
+        if engine_cache_entries < 1:
+            raise ValueError("engine_cache_entries must be >= 1")
+        if query_block_rows < 1:
+            raise ValueError("query_block_rows must be >= 1")
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; options: {', '.join(METRICS)}")
+        self.engine_cache_entries = engine_cache_entries
+        self.store = self._coerce_store(store)
         self._tools: dict[str, EmbeddingTool] = {}
+        # LRU-bounded like the hierarchy cache: engines hold mmaps open, and
+        # an unbounded memo would pin shard files of versions gc() removed.
+        self._engines: "OrderedDict[_EngineKey, QueryEngine]" = OrderedDict()
+        # (fingerprint, tool, pinned config hash) -> resolved store entry, so
+        # serving does not re-scan manifests on every request of a batch.
+        # LRU-bounded like the engine cache (entries pin their manifests).
+        self._entries: "OrderedDict[tuple[str, str, str | None], StoreEntry]" = OrderedDict()
+        # Counters of engines that aged out of the LRU, so stats() stays
+        # cumulative instead of shrinking on eviction.
+        self._evicted_batches = 0
+        self._evicted_rows_scored = 0
+        self._evicted_query_seconds = 0.0
+
+    @staticmethod
+    def _coerce_store(store: "EmbeddingStore | str | os.PathLike | None",
+                      ) -> "EmbeddingStore | None":
+        if store is None:
+            return None
+        from ..store.store import EmbeddingStore
+
+        if isinstance(store, EmbeddingStore):
+            return store
+        return EmbeddingStore(store)
 
     # ------------------------------------------------------------------ #
     # Tool resolution
@@ -127,9 +250,15 @@ class EmbeddingService:
     def embed(self, name: str | EmbeddingTool, graph: CSRGraph, *,
               seed: int | None = None,
               progress: ProgressCallback | None = None) -> EmbeddingResult:
-        """Embed one graph with the named tool."""
+        """Embed one graph with the named tool.
+
+        The result is stamped with ``metadata["graph_fingerprint"]`` so it can
+        be handed to an :class:`~repro.store.EmbeddingStore` without carrying
+        the graph alongside it.
+        """
         tool = self.tool(name)
         result = tool.embed(graph, seed=seed, progress=progress or self.progress)
+        result.metadata.setdefault("graph_fingerprint", graph.fingerprint())
         self.requests_served += 1
         return result
 
@@ -178,12 +307,213 @@ class EmbeddingService:
         return results
 
     # ------------------------------------------------------------------ #
+    # Query serving (embed-if-missing -> store -> query)
+    # ------------------------------------------------------------------ #
+    def _require_store(self) -> "EmbeddingStore":
+        if self.store is None:
+            raise ValueError(
+                "query serving is store-backed: construct the service with "
+                "store=<dir or EmbeddingStore> to enable EmbeddingService.query")
+        return self.store
+
+    def ensure_stored(self, name: str | EmbeddingTool, graph: CSRGraph, *,
+                      config_hash: str | None = None,
+                      ) -> "tuple[StoreEntry, bool]":
+        """Return ``(entry, store_hit)`` for the tool/graph pair.
+
+        On a miss the graph is embedded and the result saved as the lineage's
+        next version — the "embed-if-missing" half of :meth:`query`.  A store
+        entry only counts as a hit when it is *servable* under this service's
+        configuration (matching embedding dimension): an entry trained with
+        different settings is treated as missing rather than silently served.
+        A pinned ``config_hash`` means "serve exactly this validated
+        lineage": when no such lineage exists the call *raises* — embedding
+        under the service's own configuration would hand back a different
+        lineage than the one pinned.  Resolved entries are memoised per
+        (graph, tool, pin) and re-validated against the version directory,
+        so batches do not re-scan manifests but a gc'd version is noticed
+        and re-resolved instead of served blind.
+        """
+        from ..store.store import StoreError
+
+        store = self._require_store()
+        tool = self.tool(name)
+        fingerprint = graph.fingerprint()
+        key = (fingerprint, tool.name, config_hash)
+        cached = self._entries.get(key)
+        if cached is not None:
+            if cached.path.is_dir():
+                self._entries.move_to_end(key)
+                return cached, True
+            # The version vanished underneath us (gc or external cleanup):
+            # drop it and any engines still mmapping its shards.
+            del self._entries[key]
+            for stale in [k for k in self._engines if k.path == str(cached.path)]:
+                self._drop_engine(stale)
+        entry = store.latest(
+            fingerprint, tool.name, config_hash=config_hash,
+            # Filter before picking newest: a newer entry from an
+            # incompatible lineage must not mask an older servable one
+            # (that would re-embed on every alternation between services).
+            where=lambda e: self.dim is None or e.shape[1] == self.dim)
+        if entry is not None:
+            self._entries[key] = entry
+            self._trim_entry_memo()
+            return entry, True
+        if config_hash is not None:
+            raise StoreError(
+                f"no servable entry for pinned config {config_hash!r} "
+                f"(graph {fingerprint[:12]}…, tool {tool.name!r}); drop the pin "
+                "to embed-if-missing under the service configuration")
+        result = self.embed(tool, graph)
+        saved = store.save(result, fingerprint=fingerprint)
+        self._entries[key] = saved
+        self._trim_entry_memo()
+        return saved, False
+
+    #: Resolved-entry memo bound; entries are small (one manifest each) but
+    #: a long-lived service over many graphs must not grow without limit.
+    _ENTRY_MEMO_MAX = 256
+
+    def _trim_entry_memo(self) -> None:
+        while len(self._entries) > self._ENTRY_MEMO_MAX:
+            self._entries.popitem(last=False)
+
+    def _engine_for(self, entry: "StoreEntry", *, metric: str | None,
+                    backend: str | None) -> "QueryEngine":
+        """Memoise one engine per (store version, metric, backend).
+
+        The matrix is loaded memory-mapped, so engines over large stored
+        embeddings cost address space, not resident copies.
+        """
+        from ..query.engine import QueryEngine
+
+        store = self._require_store()
+        key = _EngineKey(path=str(entry.path), metric=metric or self.metric,
+                         backend=backend or self.query_backend)
+        if key not in self._engines:
+            loaded = store.load_entry(entry, mmap=True)
+            self._engines[key] = QueryEngine(
+                loaded.embedding, metric=key.metric, backend=key.backend,
+                block_rows=self.query_block_rows)
+        else:
+            self._engines.move_to_end(key)
+        return self._engines[key]
+
+    def _drop_engine(self, key: _EngineKey) -> None:
+        """Evict an engine, folding its counters into the cumulative totals."""
+        engine = self._engines.pop(key)
+        self._evicted_batches += engine.batches_served
+        self._evicted_rows_scored += engine.rows_scored
+        self._evicted_query_seconds += engine.query_seconds
+
+    def _enforce_engine_cap(self) -> None:
+        """LRU-evict down to ``engine_cache_entries``.
+
+        Runs after a batch finishes serving (not inside :meth:`_engine_for`):
+        evicting mid-batch would fold an engine's counters while the batch
+        still holds a reference and serves through it, losing those
+        increments from :meth:`stats`.
+        """
+        while len(self._engines) > self.engine_cache_entries:
+            self._drop_engine(next(iter(self._engines)))
+
+    def query(self, name: str | EmbeddingTool, graph: CSRGraph, *,
+              vertices: "np.ndarray | list[int] | int | None" = None,
+              vectors: "np.ndarray | None" = None,
+              k: int = 10, metric: str | None = None,
+              backend: str | None = None,
+              exclude_self: bool = True,
+              config_hash: str | None = None) -> QueryResponse:
+        """Answer a k-NN request against the tool's embedding of ``graph``.
+
+        Embed-if-missing: when the store has no entry for the (graph, tool)
+        pair the service embeds and saves it first, then serves the query
+        from the stored (memory-mapped) matrix like every later request.
+        """
+        responses = self.query_batch([QueryRequest(
+            tool=name, graph=graph, vertices=vertices, vectors=vectors, k=k,
+            metric=metric, backend=backend, exclude_self=exclude_self,
+            config_hash=config_hash)])
+        return responses[0]
+
+    def query_batch(self, requests: Iterable[QueryRequest]) -> list[QueryResponse]:
+        """Serve many k-NN requests, microbatching per engine.
+
+        Concurrent requests that resolve to the same engine and settings
+        (same graph, tool, metric, backend, k, query kind) are stacked into
+        one backend call — one pass over the matrix answers all of them —
+        and the answers are scattered back in request order.  Each response's
+        ``result.seconds`` is the *shared* wall-clock of its microbatch (the
+        requests were answered together; the time is not apportioned).
+        """
+        from ..query.engine import QueryResult
+
+        requests = list(requests)
+        responses: list[QueryResponse | None] = [None] * len(requests)
+        groups: dict[object, list[int]] = {}
+        prepared: list[tuple["StoreEntry", bool, "QueryEngine"]] = []
+        for i, request in enumerate(requests):
+            entry, store_hit = self.ensure_stored(
+                request.tool, request.graph, config_hash=request.config_hash)
+            engine = self._engine_for(entry, metric=request.metric,
+                                      backend=request.backend)
+            prepared.append((entry, store_hit, engine))
+            by_vertex = request.vertices is not None
+            group_key = (id(engine), request.k, by_vertex,
+                         request.exclude_self if by_vertex else None)
+            groups.setdefault(group_key, []).append(i)
+        for (engine_id, k, by_vertex, exclude_self), members in groups.items():
+            engine = prepared[members[0]][2]
+            if by_vertex:
+                stacked = np.concatenate([
+                    np.atleast_1d(np.asarray(requests[i].vertices, dtype=np.int64))
+                    for i in members])
+                merged = engine.nearest(stacked, k, exclude_self=bool(exclude_self))
+            else:
+                stacked = np.concatenate([
+                    np.atleast_2d(np.asarray(requests[i].vectors, dtype=np.float32))
+                    for i in members])
+                merged = engine.query(stacked, k)
+            self.microbatches += 1
+            offset = 0
+            for i in members:
+                count = requests[i].num_queries
+                result = QueryResult(
+                    ids=merged.ids[offset:offset + count],
+                    scores=merged.scores[offset:offset + count],
+                    metric=merged.metric, backend=merged.backend,
+                    seconds=merged.seconds)
+                entry, store_hit, _ = prepared[i]
+                responses[i] = QueryResponse(result=result, entry=entry,
+                                             store_hit=store_hit)
+                offset += count
+                self.queries_served += count
+        self._enforce_engine_cap()
+        return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, object]:
-        return {
+        stats: dict[str, object] = {
             "requests_served": self.requests_served,
             "requests_failed": self.requests_failed,
             "tools_resolved": sorted(self._tools),
             "hierarchy_cache": self.hierarchy_cache.stats(),
+            "queries_served": self.queries_served,
+            "microbatches": self.microbatches,
+            "query_engines": len(self._engines),
         }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        if self._engines or self._evicted_batches:
+            stats["query"] = {
+                "batches": self._evicted_batches + sum(
+                    e.batches_served for e in self._engines.values()),
+                "rows_scored": self._evicted_rows_scored + sum(
+                    e.rows_scored for e in self._engines.values()),
+                "seconds": round(self._evicted_query_seconds + sum(
+                    e.query_seconds for e in self._engines.values()), 4),
+            }
+        return stats

@@ -177,8 +177,17 @@ class GoshTool(BaseEmbeddingTool):
                    else f", {cfg.sampler_backend} sampler")
         mode = ("" if normalize_execution_mode(cfg.execution_mode) == DEFAULT_EXECUTION_MODE
                 else f", {cfg.execution_mode} execution")
+        # Serving observability: when a hierarchy cache is attached (directly
+        # or by the EmbeddingService), its behaviour shows up in `tools` /
+        # query output instead of being invisible state.
+        cache = ""
+        if self.hierarchy_cache is not None:
+            s = self.hierarchy_cache.stats()
+            cache = (f"; hierarchy cache: {s['entries']} entries, "
+                     f"{s['hits']} hits, {s['misses']} misses")
         return (f"GOSH {cfg.name}: p={cfg.smoothing_ratio}, lr={cfg.learning_rate}, "
-                f"e={cfg.epochs}, {coarse}{backend}{sampler}{mode} (GPU, multilevel)")
+                f"e={cfg.epochs}, {coarse}{backend}{sampler}{mode} (GPU, multilevel)"
+                f"{cache}")
 
     def prepare(self, graph: CSRGraph) -> None:
         """Pre-build (and cache) the coarsening hierarchy for ``graph``.

@@ -1,13 +1,20 @@
 """Command-line interface for the GOSH reproduction.
 
-Five subcommands cover the day-to-day workflow of the original tool:
+Seven subcommands cover the day-to-day workflow of the original tool plus
+the serving side:
 
 * ``repro-gosh embed``    — embed an edge-list file (or a named synthetic
-  twin) with any registered tool and save the matrix as ``.npy``.
+  twin) with any registered tool and save the matrix as ``.npy`` (and, with
+  ``--save``, as a versioned entry in the embedding store).
 * ``repro-gosh coarsen``  — run MultiEdgeCollapse and print the per-level
   statistics (a Table 4/5-style report).
 * ``repro-gosh evaluate`` — run the full link-prediction pipeline around a
   chosen tool and print the AUCROC.
+* ``repro-gosh export``   — list / export / garbage-collect stored embedding
+  versions (the :mod:`repro.store` surface).
+* ``repro-gosh query``    — k-NN similarity queries over a stored embedding,
+  embedding-and-saving first when the store has no entry yet (the
+  :mod:`repro.query` surface via ``EmbeddingService.query``).
 * ``repro-gosh tools``    — list the registered embedding tools.
 * ``repro-gosh datasets`` — list the registered synthetic twins (Table 2).
 
@@ -24,14 +31,19 @@ from pathlib import Path
 
 import numpy as np
 
-from .api import UnknownToolError, get_tool, tool_descriptions
+from .api import EmbeddingService, UnknownToolError, get_tool, tool_descriptions
 from .coarsening import multi_edge_collapse, parallel_multi_edge_collapse, summarize
 from .eval import run_link_prediction
 from .graph import CSRGraph, read_edge_list
 from .gpu import DeviceSpec, SimulatedDevice
 from .harness import dataset_names, load_dataset, paper_table2_rows, print_table
+from .query import METRICS, available_query_backends
+from .store import EmbeddingStore, StoreError
 
 __all__ = ["main", "build_parser"]
+
+#: Default root of the on-disk embedding store used by --save/export/query.
+DEFAULT_STORE_DIR = "embeddings"
 
 
 def _load_graph(source: str, *, seed: int = 0) -> CSRGraph:
@@ -85,6 +97,11 @@ def cmd_embed(args: argparse.Namespace) -> int:
     tool = _resolve_tool(args)
     result = tool.embed(graph)
     np.save(args.output, result.embedding)
+    if args.save:
+        store = EmbeddingStore(args.store_dir)
+        entry = store.save(result, graph=graph)
+        print(f"stored: {entry.path} (version v{entry.version:04d}, "
+              f"config {entry.config_hash})")
     print(f"graph: {graph}")
     print(f"tool: {result.tool} — {tool.describe()}")
     for stage, seconds in result.timings.items():
@@ -134,9 +151,120 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_export(args: argparse.Namespace) -> int:
+    store = EmbeddingStore(args.store_dir)
+    fingerprint = None
+    if args.graph is not None:
+        fingerprint = _load_graph(args.graph, seed=args.seed).fingerprint()
+    if args.gc_keep is not None:
+        # gc honours the command's scope: a graph/--tool on the command line
+        # must never collect other graphs' or tools' lineages.
+        removed = store.gc(args.gc_keep, fingerprint=fingerprint,
+                           tool=args.tool if args.tool else None)
+        for entry in removed:
+            print(f"removed: {entry.path}")
+        scope = "matching" if (fingerprint or args.tool) else "every"
+        print(f"gc: kept newest {args.gc_keep} version(s) of {scope} lineage, "
+              f"removed {len(removed)} entries")
+    if args.list or args.gc_keep is not None:
+        entries = store.list(fingerprint, args.tool if args.tool else None)
+        if entries:
+            print_table([e.as_row() for e in entries],
+                        title=f"Embedding store at {store.root}")
+        else:
+            print(f"store at {store.root}: no matching entries")
+        return 0
+    if args.tool is None:
+        raise SystemExit("export needs --tool (or --list to browse the store)")
+    if fingerprint is None:
+        raise SystemExit("export needs a graph to export (or --list to browse the store)")
+    try:
+        result = store.load(fingerprint, args.tool, version=args.version, mmap=True)
+    except StoreError as exc:
+        raise SystemExit(str(exc)) from exc
+    np.save(args.output, np.asarray(result.embedding))
+    meta = result.metadata["store"]
+    print(f"exported {result.tool} v{meta['version']:04d} "
+          f"(shape {result.embedding.shape[0]}x{result.embedding.shape[1]}) "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .query import UnknownQueryBackendError, get_query_backend
+
+    if args.query_backend is not None:
+        try:
+            get_query_backend(args.query_backend)
+        except UnknownQueryBackendError as exc:
+            raise SystemExit(str(exc)) from exc
+    if args.top_k < 1:
+        raise SystemExit("--top-k must be >= 1")
+    graph = _load_graph(args.graph, seed=args.seed)
+    tool = _resolve_tool(args)
+    try:
+        # The service validates the query knobs eagerly — fail here, before
+        # an embed-if-missing spends minutes training.
+        service = EmbeddingService(
+            dim=args.dim, epoch_scale=args.epoch_scale, seed=args.seed,
+            store=args.store_dir, metric=args.metric,
+            query_backend=args.query_backend, query_block_rows=args.block_rows)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    # The tool is resolved here (to honour --kernel-backend etc.), so wire it
+    # into the service's hierarchy cache ourselves — otherwise the cache
+    # counters printed below could never move on the embed-if-missing path.
+    if hasattr(tool, "hierarchy_cache") and tool.hierarchy_cache is None:
+        tool.hierarchy_cache = service.hierarchy_cache
+    if args.query_file is not None:
+        vectors = np.load(args.query_file)
+        labels = [f"q{i}" for i in range(np.atleast_2d(vectors).shape[0])]
+        response = service.query(tool, graph, vectors=vectors, k=args.top_k)
+    else:
+        vertices = args.vertex if args.vertex else [0]
+        labels = list(vertices)
+        response = service.query(tool, graph, vertices=vertices, k=args.top_k)
+    result = response.result
+    print(f"graph: {graph}")
+    print(f"tool: {tool.name} — {tool.describe()}")
+    entry = response.entry
+    source = ("served from store" if response.store_hit
+              else "embedded and stored")
+    print(f"{source}: v{entry.version:04d} (config {entry.config_hash}) "
+          f"under {entry.path.parent.name}")
+    print_table(result.as_rows(labels),
+                title=f"top-{args.top_k} by {result.metric} ({result.backend} backend)")
+    _print_serving_stats(service)
+    return 0
+
+
+def _print_serving_stats(service: EmbeddingService) -> None:
+    """One observability block per serving command (cache/store/query)."""
+    stats = service.stats()
+    cache = stats["hierarchy_cache"]
+    print(f"hierarchy cache: {cache['entries']} entries, "
+          f"{cache['hits']} hits, {cache['misses']} misses")
+    store = stats.get("store")
+    if store:
+        print(f"store: {store['entries']} entries in {store['lineages']} lineage(s), "
+              f"{store['bytes']} bytes ({store['saves']} saves, {store['loads']} loads)")
+    query = stats.get("query")
+    if query:
+        print(f"query: {stats['queries_served']} queries in "
+              f"{stats['microbatches']} microbatch(es), "
+              f"{query['rows_scored']} rows scored in {query['seconds']}s")
+
+
 def cmd_tools(args: argparse.Namespace) -> int:
     rows = tool_descriptions(dim=args.dim, epoch_scale=args.epoch_scale)
     print_table(rows, title="Registered embedding tools (repro.api registry)")
+    print(f"query backends: {', '.join(available_query_backends())} "
+          f"(metrics: {', '.join(METRICS)})")
+    if args.store_dir is not None:
+        store = EmbeddingStore(args.store_dir)
+        stats = store.stats()
+        print(f"store at {stats['root']}: {stats['entries']} entries in "
+              f"{stats['lineages']} lineage(s), {stats['bytes']} bytes")
     return 0
 
 
@@ -192,12 +320,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "(single-threaded oracle); results are "
                             "bit-identical either way")
 
+    def add_store_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store-dir", default=DEFAULT_STORE_DIR, metavar="DIR",
+                       help="root of the versioned embedding store "
+                            f"(default: ./{DEFAULT_STORE_DIR})")
+
     p_embed = sub.add_parser("embed", help="embed a graph and save the matrix as .npy")
     add_common(p_embed)
     p_embed.add_argument("--output", "-o", default="embedding.npy")
     add_tool_options(p_embed)
     p_embed.add_argument("--dim", type=int, default=128)
     p_embed.add_argument("--epoch-scale", type=float, default=1.0)
+    p_embed.add_argument("--save", action="store_true",
+                         help="also save the result as a new version in the "
+                              "embedding store (see --store-dir)")
+    add_store_option(p_embed)
     p_embed.set_defaults(func=cmd_embed)
 
     p_coarsen = sub.add_parser("coarsen", help="run MultiEdgeCollapse and report per-level stats")
@@ -214,9 +351,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--classifier", choices=("logistic", "sgd"), default="logistic")
     p_eval.set_defaults(func=cmd_evaluate)
 
+    p_export = sub.add_parser(
+        "export", help="list/export/gc stored embedding versions")
+    p_export.add_argument("graph", nargs="?", default=None,
+                          help="edge-list file or registered dataset name "
+                               "(identifies the stored lineage; optional with --list)")
+    p_export.add_argument("--seed", type=int, default=0)
+    p_export.add_argument("--tool", default=None,
+                          help="tool whose stored embedding to export")
+    p_export.add_argument("--version", type=int, default=None,
+                          help="stored version to export (default: newest)")
+    p_export.add_argument("--output", "-o", default="embedding.npy")
+    p_export.add_argument("--list", action="store_true",
+                          help="list matching store entries instead of exporting")
+    p_export.add_argument("--gc-keep", type=int, default=None, metavar="N",
+                          help="garbage-collect: keep only the newest N versions "
+                               "of every lineage, then list what remains")
+    add_store_option(p_export)
+    p_export.set_defaults(func=cmd_export)
+
+    p_query = sub.add_parser(
+        "query", help="k-NN similarity queries over a stored embedding "
+                      "(embeds and stores first if missing)")
+    add_common(p_query)
+    add_tool_options(p_query)
+    # Defaults line up with `embed`: --dim None serves whatever dimension is
+    # stored (embedding at the tool default on a miss), so the documented
+    # `embed --save` -> `query` flow hits the store instead of silently
+    # re-embedding under a different configuration.
+    p_query.add_argument("--dim", type=int, default=None,
+                         help="embedding dimension; default: serve any stored "
+                              "dimension, embed at the tool default if missing")
+    p_query.add_argument("--epoch-scale", type=float, default=1.0)
+    p_query.add_argument("--vertex", type=int, action="append", default=None,
+                         metavar="V",
+                         help="query vertex id (repeatable; default: 0)")
+    p_query.add_argument("--query-file", default=None, metavar="NPY",
+                         help=".npy file of raw query vectors (overrides --vertex)")
+    p_query.add_argument("--top-k", type=int, default=10)
+    p_query.add_argument("--metric", choices=METRICS, default="cosine")
+    p_query.add_argument("--query-backend", default=None, metavar="NAME",
+                         help="top-k backend: blocked (chunked matmul, default) "
+                              "| exact (brute-force oracle); third-party "
+                              "backends registered via "
+                              "repro.query.register_query_backend are accepted "
+                              "by name")
+    p_query.add_argument("--block-rows", type=int, default=4096,
+                         help="rows per scoring block for the blocked backend")
+    add_store_option(p_query)
+    p_query.set_defaults(func=cmd_query)
+
     p_tools = sub.add_parser("tools", help="list the registered embedding tools")
     p_tools.add_argument("--dim", type=int, default=32)
     p_tools.add_argument("--epoch-scale", type=float, default=1.0)
+    p_tools.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="also report the embedding store at DIR")
     p_tools.set_defaults(func=cmd_tools)
 
     p_data = sub.add_parser("datasets", help="list the registered synthetic twins")

@@ -10,6 +10,13 @@ Given an input graph and an embedding function, the pipeline:
 4. fits a logistic-regression classifier on the train set (the full-batch
    model for medium graphs, SGD for large ones),
 5. reports the AUCROC on the test set.
+
+:func:`evaluate_embedding` also closes the loop with the serving side: a
+matrix loaded from the :mod:`repro.store` (``store.load(...).embedding``,
+memory-mapped or not) evaluates exactly like a freshly trained one.  The
+:mod:`repro.query` layer's ``sigmoid`` metric is this pipeline's — and the
+trainer's — edge-probability model sigma(u . v), so serving-time similarity
+scores are calibrated consistently with what link prediction optimises.
 """
 
 from __future__ import annotations

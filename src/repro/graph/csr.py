@@ -289,10 +289,13 @@ class CSRGraph:
     def fingerprint(self) -> str:
         """A content hash of the CSR arrays, stable across equal graphs.
 
-        Used as a cache key (e.g. by the :class:`repro.api` hierarchy cache):
-        two graphs with identical structure share a fingerprint regardless of
-        their ``name``.  Computed once and memoised; CSR arrays are treated as
-        immutable throughout the codebase.
+        Used as a cache key (by the :class:`repro.api` hierarchy cache and as
+        the :class:`repro.store` lineage key, so it runs on every store
+        save/load and every serving request): two graphs with identical
+        structure share a fingerprint regardless of their ``name``.  Computed
+        once and memoised on the instance — hashing millions of CSR entries
+        per request would dominate small queries — which is safe because CSR
+        arrays are treated as immutable throughout the codebase.
         """
         if self._fingerprint is None:
             h = hashlib.blake2b(digest_size=16)
@@ -318,10 +321,13 @@ class CSRGraph:
         )
 
     def copy(self) -> "CSRGraph":
+        # Content is equal by construction, so the memoised fingerprint
+        # carries over — a copy must not re-hash the arrays.
         return CSRGraph(
             xadj=self.xadj.copy(),
             adj=self.adj.copy(),
             num_vertices=self.num_vertices,
             undirected=self.undirected,
             name=self.name,
+            _fingerprint=self._fingerprint,
         )

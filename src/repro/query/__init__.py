@@ -1,0 +1,51 @@
+"""repro.query — high-throughput k-NN similarity serving over embeddings.
+
+The consumption-side counterpart of the training pipeline: load an embedding
+(typically memory-mapped out of the :mod:`repro.store`), prepare it once, and
+answer many small top-k requests cheaply.
+
+* :class:`QueryEngine` — the serving object (:meth:`~QueryEngine.query`,
+  :meth:`~QueryEngine.nearest`, counters).
+* :mod:`repro.query.backends` — the pluggable top-k layer mirroring
+  :mod:`repro.gpu.backends`: ``"blocked"`` (chunked float32 matmul, default)
+  and ``"exact"`` (brute-force oracle), bit-identical to each other.
+
+Quickstart::
+
+    from repro.query import QueryEngine
+
+    engine = QueryEngine(result.embedding, metric="cosine")
+    answer = engine.nearest([0, 7], k=5)
+    print(answer.ids, answer.scores)
+"""
+
+from .backends import (
+    DEFAULT_QUERY_BACKEND,
+    METRICS,
+    BlockedQueryBackend,
+    ExactQueryBackend,
+    PreparedMatrix,
+    QueryBackend,
+    UnknownQueryBackendError,
+    available_query_backends,
+    get_query_backend,
+    register_query_backend,
+    topk_by_score,
+)
+from .engine import QueryEngine, QueryResult
+
+__all__ = [
+    "DEFAULT_QUERY_BACKEND",
+    "METRICS",
+    "BlockedQueryBackend",
+    "ExactQueryBackend",
+    "PreparedMatrix",
+    "QueryBackend",
+    "UnknownQueryBackendError",
+    "available_query_backends",
+    "get_query_backend",
+    "register_query_backend",
+    "topk_by_score",
+    "QueryEngine",
+    "QueryResult",
+]

@@ -1,0 +1,304 @@
+"""Query backend layer: swappable top-k implementations over one scorer.
+
+Mirrors the kernel/sampler backend registries
+(:mod:`repro.gpu.backends` / :mod:`repro.graph.sampler_backends`): a small
+protocol, two built-ins, and name-based registration for third parties.
+
+* ``"exact"`` — the brute-force oracle: score every row against every query
+  in one pass and fully sort each query's score column.  Clarity over speed.
+* ``"blocked"`` — the production path (default): stream the matrix in row
+  blocks, keep only each block's top-k candidates (plus score ties at the
+  boundary), and merge at the end.  It never materialises the full
+  ``|V| x Q`` score matrix and replaces the oracle's per-query full sorts
+  with O(|V|) partial selection, so throughput scales with matmul instead of
+  sorting (floor ≥5x in ``benchmarks/test_query_perf.py``).
+
+**Parity is exact.**  Both backends score through the same primitive
+(:meth:`PreparedMatrix.score_block`) over the *same* ``block_rows`` grid —
+identical float32 matmuls on identical row ranges, so the score bits cannot
+drift even on BLAS builds whose accumulation order varies with the matrix
+shape.  What differs is only the selection: the oracle sorts every score,
+the blocked backend keeps per-block top-k candidates — including *every*
+candidate tied with a block's k-th best score, so boundary ties cannot evict
+the id the oracle would keep — and both break ties identically (smaller id
+wins, via :func:`topk_by_score`).  The golden suite in ``tests/query/``
+pins ids *and* score bits across block sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "METRICS",
+    "DEFAULT_QUERY_BACKEND",
+    "PreparedMatrix",
+    "QueryBackend",
+    "ExactQueryBackend",
+    "BlockedQueryBackend",
+    "UnknownQueryBackendError",
+    "register_query_backend",
+    "get_query_backend",
+    "available_query_backends",
+    "topk_by_score",
+]
+
+#: Supported scoring metrics.  ``dot`` is the raw inner product; ``cosine``
+#: normalises by the precomputed row/query norms; ``sigmoid`` is the
+#: trainer's edge-probability model sigma(u . v) — the same link score the
+#: update kernels optimise — and, being monotone in ``dot``, ranks
+#: identically while returning calibrated (0, 1) scores.
+METRICS = ("dot", "cosine", "sigmoid")
+
+DEFAULT_QUERY_BACKEND = "blocked"
+
+
+@dataclass
+class PreparedMatrix:
+    """The embedding matrix prepared once for any number of queries.
+
+    ``matrix`` is float32 and C-contiguous (a no-op view when the source —
+    e.g. a memory-mapped store shard — already is).  ``inv_norms`` is
+    precomputed lazily for the cosine metric and shared by every backend, so
+    normalisation cannot introduce cross-backend drift.
+    """
+
+    matrix: np.ndarray
+    metric: str = "cosine"
+    _inv_norms: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise ValueError(f"unknown metric {self.metric!r}; options: {', '.join(METRICS)}")
+        if self.matrix.ndim != 2:
+            raise ValueError(f"embedding must be a 2-D matrix, got shape {self.matrix.shape}")
+        self.matrix = np.ascontiguousarray(self.matrix, dtype=np.float32)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.matrix.shape[1])
+
+    @property
+    def inv_norms(self) -> np.ndarray:
+        if self._inv_norms is None:
+            norms = np.sqrt(np.einsum("ij,ij->i", self.matrix, self.matrix,
+                                      dtype=np.float32))
+            # Zero rows score 0 against everything instead of NaN.
+            safe = np.where(norms > 0.0, norms, np.float32(1.0))
+            self._inv_norms = (np.float32(1.0) / safe).astype(np.float32)
+        return self._inv_norms
+
+    def prepare_queries(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Coerce queries to float32 ``(Q, d)`` and precompute their norms."""
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if q.shape[1] != self.dim:
+            raise ValueError(f"queries must have dimension {self.dim}, got {q.shape[1]}")
+        if self.metric != "cosine":
+            return q, None
+        qnorms = np.sqrt(np.einsum("ij,ij->i", q, q, dtype=np.float32))
+        safe = np.where(qnorms > 0.0, qnorms, np.float32(1.0))
+        return q, (np.float32(1.0) / safe).astype(np.float32)
+
+    def blocks(self, block_rows: int) -> Iterator[tuple[int, int]]:
+        """The canonical block grid: every backend scores these exact ranges.
+
+        Sharing the grid (not just the primitive) is what makes cross-backend
+        score bits reproducible: optimized BLAS may change its accumulation
+        order with the matrix shape, so the oracle must issue the *same*
+        matmuls as the production backend, not one big one.
+        """
+        if block_rows < 1:
+            raise ValueError("block_rows must be >= 1")
+        for start in range(0, self.num_rows, block_rows):
+            yield start, min(self.num_rows, start + block_rows)
+
+    def score_block(self, start: int, stop: int, queries: np.ndarray,
+                    inv_qnorms: np.ndarray | None) -> np.ndarray:
+        """Score rows ``[start, stop)`` against every query: ``(rows, Q)``.
+
+        This is the single scoring primitive both backends call, on the
+        ranges produced by :meth:`blocks`.
+        """
+        scores = self.matrix[start:stop] @ queries.T
+        if self.metric == "cosine":
+            scores *= self.inv_norms[start:stop, None]
+            scores *= inv_qnorms[None, :]
+        elif self.metric == "sigmoid":
+            np.negative(scores, out=scores)
+            np.exp(scores, out=scores)
+            scores += np.float32(1.0)
+            np.reciprocal(scores, out=scores)
+        return scores
+
+
+def topk_by_score(ids: np.ndarray, scores: np.ndarray, k: int,
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """The shared ranking rule: descending score, ascending id on ties."""
+    order = np.lexsort((ids, -scores.astype(np.float64)))[:k]
+    return ids[order], scores[order]
+
+
+@runtime_checkable
+class QueryBackend(Protocol):
+    """Uniform interface over every top-k implementation."""
+
+    name: str
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        ...
+
+    def topk(self, prepared: PreparedMatrix, queries: np.ndarray, k: int, *,
+             block_rows: int = 4096) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, scores)``, each ``(Q, k)``, ranked per query."""
+        ...
+
+
+class ExactQueryBackend:
+    """Brute force oracle: materialise every score, fully sort every query.
+
+    Scoring walks the same block grid as the blocked backend (see
+    :meth:`PreparedMatrix.blocks`) so the two backends' score bits are
+    identical by construction; everything after — keep all ``|V| x Q``
+    scores, full per-query sort — is deliberately naive.
+    """
+
+    name = "exact"
+
+    def describe(self) -> str:
+        return ("exact: full |V|xQ score matrix, full per-query sort "
+                "(brute-force oracle)")
+
+    def topk(self, prepared: PreparedMatrix, queries: np.ndarray, k: int, *,
+             block_rows: int = 4096) -> tuple[np.ndarray, np.ndarray]:
+        q, inv_qnorms = prepared.prepare_queries(queries)
+        n = prepared.num_rows
+        k = min(k, n)
+        if n == 0 or k == 0:
+            return (np.empty((q.shape[0], 0), dtype=np.int64),
+                    np.empty((q.shape[0], 0), dtype=np.float32))
+        scores = np.concatenate(
+            [prepared.score_block(start, stop, q, inv_qnorms)
+             for start, stop in prepared.blocks(block_rows)], axis=0)
+        all_ids = np.arange(n, dtype=np.int64)
+        out_ids = np.empty((q.shape[0], k), dtype=np.int64)
+        out_scores = np.empty((q.shape[0], k), dtype=np.float32)
+        for j in range(q.shape[0]):
+            out_ids[j], out_scores[j] = topk_by_score(all_ids, scores[:, j], k)
+        return out_ids, out_scores
+
+
+class BlockedQueryBackend:
+    """Chunked float32 matmul with per-block candidate selection (default)."""
+
+    name = "blocked"
+
+    def describe(self) -> str:
+        return ("blocked: chunked float32 matmul, per-block top-k candidates "
+                "(ties kept), merged per query (default)")
+
+    def topk(self, prepared: PreparedMatrix, queries: np.ndarray, k: int, *,
+             block_rows: int = 4096) -> tuple[np.ndarray, np.ndarray]:
+        q, inv_qnorms = prepared.prepare_queries(queries)
+        n, num_q = prepared.num_rows, q.shape[0]
+        k = min(k, n)
+        if n == 0 or k == 0:
+            return (np.empty((num_q, 0), dtype=np.int64),
+                    np.empty((num_q, 0), dtype=np.float32))
+        cand_ids: list[np.ndarray] = []
+        cand_cols: list[np.ndarray] = []
+        cand_scores: list[np.ndarray] = []
+        for start, stop in prepared.blocks(block_rows):
+            scores = prepared.score_block(start, stop, q, inv_qnorms)
+            rows = stop - start
+            if rows > k:
+                # k-th best score per query; keep everything scoring >= it
+                # so boundary ties survive to the merge (where the shared
+                # smaller-id-wins rule resolves them exactly like the
+                # oracle).  NaN scores rank *last* in the final sort, but
+                # np.partition orders them like +inf — so sanitise them to
+                # -inf for the threshold: they then stop stealing top-k
+                # slots from finite scores, and survive as candidates only
+                # when a block has fewer than k finite rows (threshold
+                # -inf), which is exactly when the oracle's answer could
+                # need its NaN tail.
+                ranked = np.where(np.isnan(scores), -np.inf, scores)
+                part = np.partition(ranked, rows - k, axis=0)
+                thresholds = part[rows - k]
+                keep_rows, keep_cols = np.nonzero(ranked >= thresholds[None, :])
+            else:
+                keep_rows, keep_cols = np.nonzero(np.ones_like(scores, dtype=bool))
+            cand_ids.append((start + keep_rows).astype(np.int64))
+            cand_cols.append(keep_cols)
+            cand_scores.append(scores[keep_rows, keep_cols])
+        ids = np.concatenate(cand_ids)
+        cols = np.concatenate(cand_cols)
+        merged = np.concatenate(cand_scores)
+        out_ids = np.empty((num_q, k), dtype=np.int64)
+        out_scores = np.empty((num_q, k), dtype=np.float32)
+        order = np.argsort(cols, kind="stable")
+        bounds = np.searchsorted(cols[order], np.arange(num_q + 1))
+        for j in range(num_q):
+            sel = order[bounds[j]:bounds[j + 1]]
+            out_ids[j], out_scores[j] = topk_by_score(ids[sel], merged[sel], k)
+        return out_ids, out_scores
+
+
+# --------------------------------------------------------------------------- #
+# Registry (mirrors repro.gpu.backends / repro.graph.sampler_backends)
+# --------------------------------------------------------------------------- #
+#: name -> zero-argument factory; instances are created lazily and cached.
+_FACTORIES: dict[str, Callable[[], QueryBackend]] = {
+    "exact": ExactQueryBackend,
+    "blocked": BlockedQueryBackend,
+}
+_INSTANCES: dict[str, QueryBackend] = {}
+
+
+class UnknownQueryBackendError(KeyError):
+    """Raised when a query-backend name is not registered."""
+
+    def __init__(self, name: str, options: list[str]):
+        super().__init__(
+            f"unknown query backend {name!r}; registered backends: {', '.join(options)}")
+        self.name = name
+        self.options = options
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+def register_query_backend(name: str, factory: Callable[[], QueryBackend], *,
+                           replace: bool = False) -> None:
+    """Register a zero-argument ``factory`` under ``name`` (case-insensitive)."""
+    key = name.strip().lower()
+    if not replace and key in _FACTORIES:
+        raise ValueError(f"backend {key!r} is already registered (pass replace=True to override)")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def get_query_backend(backend: "str | QueryBackend | None") -> QueryBackend:
+    """Resolve ``backend`` to an instance (name, instance, or None=default)."""
+    if backend is None:
+        backend = DEFAULT_QUERY_BACKEND
+    if not isinstance(backend, str):
+        return backend
+    key = backend.strip().lower()
+    if key not in _FACTORIES:
+        raise UnknownQueryBackendError(backend, available_query_backends())
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _FACTORIES[key]()
+    return _INSTANCES[key]
+
+
+def available_query_backends() -> list[str]:
+    """Registered backend names, built-ins first."""
+    return list(_FACTORIES)

@@ -1,0 +1,170 @@
+"""`QueryEngine` — k-NN similarity serving over one embedding matrix.
+
+The engine owns a :class:`~repro.query.backends.PreparedMatrix` (float32
+view + lazily cached norms) and answers many small top-k requests cheaply:
+
+* :meth:`query` — score arbitrary query vectors (one or a stacked batch).
+* :meth:`nearest` — neighbours of stored vertices by id, optionally
+  excluding the vertex itself (the common "similar items" request).
+* :meth:`stats` — serving counters (queries, rows scored, seconds).
+
+Backends come from the :mod:`repro.query.backends` registry (``"blocked"``
+default, ``"exact"`` oracle); the matrix typically comes straight out of an
+:class:`~repro.store.EmbeddingStore` entry loaded with ``mmap=True``, in
+which case blocks are paged off disk on first touch and the engine holds no
+second copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from .backends import (
+    METRICS,
+    PreparedMatrix,
+    QueryBackend,
+    get_query_backend,
+)
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Top-k answer for a batch of queries.
+
+    ``ids``/``scores`` are ``(Q, k)``, ranked per row by descending score
+    with ascending-id tie-break.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    metric: str
+    backend: str
+    seconds: float
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.ids.shape[1])
+
+    def as_rows(self, query_labels: "list[object] | None" = None) -> list[dict[str, object]]:
+        """Flat rows for table printing: one row per (query, rank)."""
+        rows = []
+        for j in range(self.num_queries):
+            label = query_labels[j] if query_labels is not None else j
+            for rank in range(self.k):
+                rows.append({
+                    "query": label,
+                    "rank": rank + 1,
+                    "neighbor": int(self.ids[j, rank]),
+                    self.metric: round(float(self.scores[j, rank]), 6),
+                })
+        return rows
+
+
+class QueryEngine:
+    """Top-k similarity queries over one embedding matrix."""
+
+    def __init__(self, embedding: np.ndarray, *, metric: str = "cosine",
+                 backend: "str | QueryBackend | None" = None,
+                 block_rows: int = 4096):
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; options: {', '.join(METRICS)}")
+        if block_rows < 1:
+            raise ValueError("block_rows must be >= 1")
+        self.prepared = PreparedMatrix(embedding, metric=metric)
+        self.backend = get_query_backend(backend)
+        self.block_rows = block_rows
+        self.queries_served = 0
+        self.batches_served = 0
+        self.rows_scored = 0
+        self.query_seconds = 0.0
+
+    @property
+    def metric(self) -> str:
+        return self.prepared.metric
+
+    @property
+    def num_vertices(self) -> int:
+        return self.prepared.num_rows
+
+    @property
+    def dim(self) -> int:
+        return self.prepared.dim
+
+    def describe(self) -> str:
+        return (f"QueryEngine: {self.num_vertices}x{self.dim} matrix, "
+                f"{self.metric} metric, {self.backend.name} backend "
+                f"(block_rows={self.block_rows})")
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def query(self, vectors: np.ndarray, k: int = 10, *,
+              backend: "str | QueryBackend | None" = None) -> QueryResult:
+        """Top-k rows for each query vector (``(d,)`` or ``(Q, d)``)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        resolved = self.backend if backend is None else get_query_backend(backend)
+        q = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        t0 = perf_counter()
+        ids, scores = resolved.topk(self.prepared, q, k, block_rows=self.block_rows)
+        seconds = perf_counter() - t0
+        self.queries_served += q.shape[0]
+        self.batches_served += 1
+        self.rows_scored += self.num_vertices * q.shape[0]
+        self.query_seconds += seconds
+        return QueryResult(ids=ids, scores=scores, metric=self.metric,
+                           backend=resolved.name, seconds=seconds)
+
+    def nearest(self, vertices: "int | np.ndarray", k: int = 10, *,
+                exclude_self: bool = True,
+                backend: "str | QueryBackend | None" = None) -> QueryResult:
+        """Top-k neighbours of stored vertices, queried by id.
+
+        With ``exclude_self`` (default) each vertex is removed from its own
+        answer — the engine asks for ``k + 1`` and drops the vertex's row,
+        so the caller still receives ``k`` neighbours.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        idx = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_vertices):
+            raise ValueError(
+                f"vertex ids must lie in [0, {self.num_vertices}), "
+                f"got range [{idx.min()}, {idx.max()}]")
+        if not exclude_self:
+            return self.query(self.prepared.matrix[idx], k, backend=backend)
+        want = min(k, max(self.num_vertices - 1, 0))
+        result = self.query(self.prepared.matrix[idx], min(want + 1, self.num_vertices),
+                            backend=backend)
+        out_ids = np.empty((idx.shape[0], want), dtype=np.int64)
+        out_scores = np.empty((idx.shape[0], want), dtype=np.float32)
+        for j, v in enumerate(idx):
+            keep = np.flatnonzero(result.ids[j] != v)[:want]
+            out_ids[j] = result.ids[j, keep]
+            out_scores[j] = result.scores[j, keep]
+        return QueryResult(ids=out_ids, scores=out_scores, metric=result.metric,
+                           backend=result.backend, seconds=result.seconds)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, object]:
+        return {
+            "metric": self.metric,
+            "backend": self.backend.name,
+            "shape": [self.num_vertices, self.dim],
+            "block_rows": self.block_rows,
+            "queries_served": self.queries_served,
+            "batches_served": self.batches_served,
+            "rows_scored": self.rows_scored,
+            "query_seconds": round(self.query_seconds, 4),
+        }

@@ -1,0 +1,26 @@
+"""repro.store — the durable, versioned embedding store.
+
+Training produces :class:`~repro.api.result.EmbeddingResult` objects that,
+until this subsystem, lived only in memory.  The store is the consumption
+side's source of truth:
+
+* :class:`EmbeddingStore` — save/load embeddings as memory-mappable ``.npy``
+  shards plus a JSON manifest, keyed by
+  ``(graph fingerprint, config hash, tool, version)``.
+* :class:`StoreEntry` — one saved version (manifest + shard paths).
+* :func:`config_hash` — the canonical hash of a result's configuration echo,
+  so two runs with identical settings share a version lineage.
+
+Quickstart::
+
+    from repro.store import EmbeddingStore
+
+    store = EmbeddingStore(tmp_path / "embeddings")
+    entry = store.save(result, graph=graph)
+    same = store.load(graph.fingerprint(), result.tool, mmap=True)
+    assert (same.embedding == result.embedding).all()   # zero-copy view
+"""
+
+from .store import EmbeddingStore, StoreEntry, StoreError, config_hash
+
+__all__ = ["EmbeddingStore", "StoreEntry", "StoreError", "config_hash"]

@@ -1,0 +1,455 @@
+"""The versioned, on-disk embedding store.
+
+Layout
+------
+One directory per *lineage* — a ``(graph fingerprint, config hash, tool)``
+triple — holding one subdirectory per saved version::
+
+    <root>/
+      <fingerprint>-<config-hash>-<tool>/
+        v0001/
+          manifest.json
+          embedding-00000.npy        # row shards, memory-mappable
+        v0002/
+          ...
+
+Shards are plain ``.npy`` files written with :func:`numpy.save`, so any NumPy
+(or non-Python) consumer can read them; ``load(..., mmap=True)`` maps a
+single-shard entry straight off disk without copying the matrix (multi-shard
+entries map every shard but must concatenate, which copies — the default is
+one shard).  The manifest carries the full key plus the result envelope's
+``timings``/``stats``/``metadata``, so a loaded
+:class:`~repro.api.result.EmbeddingResult` round-trips everything except the
+backend-native ``raw`` object.
+
+Writes are atomic at the version level: shards and manifest land in a
+``.tmp-*`` staging directory that is renamed into place last, so a crashed
+``save`` never leaves a version that :meth:`EmbeddingStore.list` would serve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.result import EmbeddingResult
+    from ..graph.csr import CSRGraph
+
+__all__ = ["EmbeddingStore", "StoreEntry", "StoreError", "config_hash"]
+
+#: Bump when the manifest schema changes incompatibly.
+MANIFEST_FORMAT = 1
+
+#: Metadata keys that describe provenance rather than configuration; they are
+#: excluded from the config hash so saving a loaded result (whose metadata
+#: carries store bookkeeping) hashes the same as saving the original.
+_NON_CONFIG_KEYS = frozenset({"graph_fingerprint", "store"})
+
+
+class StoreError(KeyError):
+    """Raised when a requested store entry does not exist."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ wraps the message in repr quotes; undo that so the
+        # CLI can print the message verbatim.
+        return self.args[0]
+
+
+def config_hash(metadata: dict[str, object]) -> str:
+    """Canonical hash of a result's configuration echo.
+
+    Two runs of the same tool with identical settings (dim, epochs, seed, …)
+    share a hash — and therefore a version lineage in the store — regardless
+    of dict ordering.  Provenance keys the store itself adds are excluded.
+    """
+    payload = {k: v for k, v in metadata.items() if k not in _NON_CONFIG_KEYS}
+    # Canonicalise exactly like the manifest serialisation (_jsonable), so a
+    # result whose metadata holds numpy scalars hashes the same before and
+    # after a store round-trip.
+    canonical = json.dumps(_jsonable(payload), sort_keys=True, default=repr)
+    return hashlib.blake2b(canonical.encode(), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One saved version: its key, location, and manifest."""
+
+    fingerprint: str
+    config_hash: str
+    tool: str
+    version: int
+    path: Path
+    manifest: dict[str, object]
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The lineage this version belongs to."""
+        return (self.fingerprint, self.config_hash, self.tool)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        rows, dim = self.manifest["shape"]
+        return (int(rows), int(dim))
+
+    @property
+    def dtype(self) -> str:
+        return str(self.manifest["dtype"])
+
+    @property
+    def graph(self) -> str:
+        return str(self.manifest.get("graph", "graph"))
+
+    @property
+    def created_at(self) -> float:
+        return float(self.manifest.get("created_at", 0.0))
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(s["nbytes"]) for s in self.manifest["shards"])
+
+    def as_row(self) -> dict[str, object]:
+        """A flat row for table printing (``repro-gosh export --list``)."""
+        rows, dim = self.shape
+        return {
+            "graph": self.graph,
+            "tool": self.tool,
+            "version": f"v{self.version:04d}",
+            "shape": f"{rows}x{dim}",
+            "dtype": self.dtype,
+            "config": self.config_hash,
+            "fingerprint": self.fingerprint[:12],
+            "MB": round(self.nbytes / (1024 * 1024), 2),
+        }
+
+
+def _version_dirname(version: int) -> str:
+    return f"v{version:04d}"
+
+
+class EmbeddingStore:
+    """Versioned on-disk store for :class:`~repro.api.result.EmbeddingResult`.
+
+    Parameters
+    ----------
+    root:
+        Directory holding every lineage; created on first save.
+    shard_rows:
+        Rows per ``.npy`` shard.  ``None`` (default) writes one shard, which
+        is what keeps ``load(mmap=True)`` zero-copy; set it to bound the size
+        of individual files for very large matrices.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, shard_rows: int | None = None):
+        if shard_rows is not None and shard_rows < 1:
+            raise ValueError("shard_rows must be >= 1 (or None for a single shard)")
+        self.root = Path(root)
+        self.shard_rows = shard_rows
+        self.saves = 0
+        self.loads = 0
+        self.gc_removed = 0
+
+    # ------------------------------------------------------------------ #
+    # Saving
+    # ------------------------------------------------------------------ #
+    def save(self, result: "EmbeddingResult", *,
+             graph: "CSRGraph | None" = None,
+             fingerprint: str | None = None) -> StoreEntry:
+        """Persist ``result`` as the next version of its lineage.
+
+        The graph identity comes from ``graph.fingerprint()``, an explicit
+        ``fingerprint``, or — for results that already went through the
+        service layer — ``result.metadata["graph_fingerprint"]``.
+        """
+        if fingerprint is None and graph is not None:
+            fingerprint = graph.fingerprint()
+        if fingerprint is None:
+            fingerprint = result.metadata.get("graph_fingerprint")  # type: ignore[assignment]
+        if not fingerprint:
+            raise ValueError(
+                "cannot key the store entry: pass graph= or fingerprint=, or embed "
+                "through EmbeddingService (which stamps metadata['graph_fingerprint'])")
+        cfg_hash = config_hash(result.metadata)
+        matrix = np.ascontiguousarray(result.embedding)
+        if matrix.ndim != 2:
+            raise ValueError(f"embedding must be a 2-D matrix, got shape {matrix.shape}")
+
+        lineage = self._lineage_dir(fingerprint, cfg_hash, result.tool)
+        lineage.mkdir(parents=True, exist_ok=True)
+        staging = lineage / f".tmp-{os.getpid()}-{os.urandom(4).hex()}"
+        staging.mkdir()
+        try:
+            shards = []
+            for i, (start, stop) in enumerate(self._shard_bounds(matrix.shape[0])):
+                shard_name = f"embedding-{i:05d}.npy"
+                np.save(staging / shard_name, matrix[start:stop])
+                shards.append({"file": shard_name, "rows": int(stop - start),
+                               "nbytes": int(matrix[start:stop].nbytes)})
+            # The rename is the atomic commit point; when two writers race to
+            # the same lineage, the loser's rename fails on the existing
+            # version dir and retries as the next version (only the manifest
+            # mentions the version, so the shards are written once).
+            for _ in range(50):
+                version = self._next_version(lineage)
+                manifest = {
+                    "format": MANIFEST_FORMAT,
+                    "fingerprint": fingerprint,
+                    "config_hash": cfg_hash,
+                    "tool": result.tool,
+                    "version": version,
+                    "graph": result.graph,
+                    "shape": [int(matrix.shape[0]), int(matrix.shape[1])],
+                    "dtype": str(matrix.dtype),
+                    "shards": shards,
+                    "seconds": result.seconds,
+                    "timings": result.timings,
+                    "stats": _jsonable(result.stats),
+                    "metadata": _jsonable(result.metadata),
+                    "created_at": time.time(),
+                }
+                with open(staging / "manifest.json", "w") as fh:
+                    json.dump(manifest, fh, indent=2, default=repr)
+                final = lineage / _version_dirname(version)
+                try:
+                    os.rename(staging, final)
+                    break
+                except OSError:
+                    if not final.is_dir():      # not a version collision
+                        raise
+            else:
+                raise RuntimeError(
+                    f"could not claim a version under {lineage} after 50 attempts")
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self.saves += 1
+        return StoreEntry(fingerprint=fingerprint, config_hash=cfg_hash,
+                          tool=result.tool, version=version, path=final,
+                          manifest=manifest)
+
+    def _shard_bounds(self, rows: int) -> Iterable[tuple[int, int]]:
+        step = rows if self.shard_rows is None else self.shard_rows
+        if rows == 0:
+            yield (0, 0)
+            return
+        for start in range(0, rows, max(1, step)):
+            yield (start, min(rows, start + max(1, step)))
+
+    def _lineage_dir(self, fingerprint: str, cfg_hash: str, tool: str) -> Path:
+        return self.root / f"{fingerprint}-{cfg_hash}-{tool}"
+
+    @staticmethod
+    def _next_version(lineage: Path) -> int:
+        versions = [int(p.name[1:]) for p in lineage.glob("v*")
+                    if p.is_dir() and p.name[1:].isdigit()]
+        return max(versions, default=0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def load(self, fingerprint: str, tool: str, *,
+             config_hash: str | None = None, version: int | None = None,
+             mmap: bool = False) -> "EmbeddingResult":
+        """Load an entry back into an :class:`EmbeddingResult`.
+
+        ``version=None`` picks the newest version (of the newest lineage when
+        ``config_hash`` is not pinned).  ``mmap=True`` memory-maps the shards
+        read-only: a single-shard entry (the default layout) comes back
+        without copying the matrix.
+        """
+        entry = self._require(fingerprint, tool, config_hash=config_hash,
+                              version=version)
+        return self.load_entry(entry, mmap=mmap)
+
+    def load_entry(self, entry: StoreEntry, *, mmap: bool = False) -> "EmbeddingResult":
+        """Materialise a listed entry (see :meth:`load` for ``mmap``)."""
+        from ..api.result import EmbeddingResult
+
+        mode = "r" if mmap else None
+        parts = [np.load(entry.path / shard["file"], mmap_mode=mode)
+                 for shard in entry.manifest["shards"]]
+        matrix = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+        manifest = entry.manifest
+        metadata = dict(manifest.get("metadata", {}))
+        metadata["graph_fingerprint"] = entry.fingerprint
+        metadata["store"] = {
+            "config_hash": entry.config_hash,
+            "version": entry.version,
+            "path": str(entry.path),
+            "mmap": bool(mmap),
+        }
+        self.loads += 1
+        return EmbeddingResult(
+            embedding=matrix,
+            tool=entry.tool,
+            graph=entry.graph,
+            seconds=float(manifest.get("seconds", 0.0)),
+            timings=dict(manifest.get("timings", {})),
+            stats=dict(manifest.get("stats", {})),
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Version management
+    # ------------------------------------------------------------------ #
+    def list(self, fingerprint: str | None = None, tool: str | None = None,
+             ) -> list[StoreEntry]:
+        """Every stored entry (optionally filtered), newest versions last."""
+        entries: list[StoreEntry] = []
+        if not self.root.is_dir():
+            return entries
+        for lineage in sorted(self.root.iterdir()):
+            if not lineage.is_dir() or lineage.name.startswith("."):
+                continue
+            # Lineage dirnames are "<fingerprint>-<hash>-<tool>" (see
+            # _lineage_dir), so filtered lookups — every serving request
+            # resolves latest(fingerprint, tool) — skip foreign lineages
+            # without opening their manifests.  The manifest check below
+            # stays authoritative.
+            if fingerprint is not None and not lineage.name.startswith(f"{fingerprint}-"):
+                continue
+            if tool is not None and not lineage.name.endswith(f"-{tool}"):
+                continue
+            for vdir in sorted(lineage.glob("v*")):
+                manifest_path = vdir / "manifest.json"
+                if not manifest_path.is_file():
+                    continue
+                with open(manifest_path) as fh:
+                    manifest = json.load(fh)
+                entry = StoreEntry(
+                    fingerprint=str(manifest["fingerprint"]),
+                    config_hash=str(manifest["config_hash"]),
+                    tool=str(manifest["tool"]),
+                    version=int(manifest["version"]),
+                    path=vdir,
+                    manifest=manifest,
+                )
+                if fingerprint is not None and entry.fingerprint != fingerprint:
+                    continue
+                if tool is not None and entry.tool != tool:
+                    continue
+                entries.append(entry)
+        entries.sort(key=lambda e: (e.key, e.version))
+        return entries
+
+    def latest(self, fingerprint: str, tool: str, *,
+               config_hash: str | None = None,
+               where: "Callable[[StoreEntry], bool] | None" = None,
+               ) -> StoreEntry | None:
+        """Newest version for the graph/tool pair, or ``None``.
+
+        Without a pinned ``config_hash`` the newest entry across every
+        configuration lineage wins (by save time, then version).  ``where``
+        filters candidates *before* picking the newest, so a caller that can
+        only serve certain entries (e.g. a fixed embedding dimension) finds
+        the newest servable one instead of being masked by a newer entry
+        from an incompatible lineage.
+        """
+        candidates = [e for e in self.list(fingerprint, tool)
+                      if (config_hash is None or e.config_hash == config_hash)
+                      and (where is None or where(e))]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda e: (e.created_at, e.version))
+
+    def _require(self, fingerprint: str, tool: str, *,
+                 config_hash: str | None, version: int | None) -> StoreEntry:
+        if version is None:
+            entry = self.latest(fingerprint, tool, config_hash=config_hash)
+            if entry is None:
+                raise StoreError(
+                    f"no stored embedding for fingerprint {fingerprint[:12]}… "
+                    f"and tool {tool!r} under {self.root}")
+            return entry
+        # Version numbers are per lineage; without a config pin the same
+        # number can exist in several lineages, so break the tie the same way
+        # latest() does — by save time — instead of by lineage sort order.
+        candidates = [e for e in self.list(fingerprint, tool)
+                      if e.version == version and (
+                          config_hash is None or e.config_hash == config_hash)]
+        if candidates:
+            return max(candidates, key=lambda e: e.created_at)
+        raise StoreError(
+            f"no version {version} for fingerprint {fingerprint[:12]}… "
+            f"and tool {tool!r} under {self.root}")
+
+    def gc(self, keep_n: int, *, fingerprint: str | None = None,
+           tool: str | None = None) -> list[StoreEntry]:
+        """Keep the newest ``keep_n`` versions of every matching lineage.
+
+        ``fingerprint``/``tool`` scope the collection (unscoped gc walks the
+        whole store).  Returns the removed entries (for logging);
+        ``keep_n=0`` empties the matching lineages.
+        """
+        if keep_n < 0:
+            raise ValueError("keep_n must be >= 0")
+        by_lineage: dict[tuple[str, str, str], list[StoreEntry]] = {}
+        for entry in self.list(fingerprint, tool):
+            by_lineage.setdefault(entry.key, []).append(entry)
+        removed: list[StoreEntry] = []
+        for versions in by_lineage.values():
+            versions.sort(key=lambda e: e.version)
+            for entry in versions[:max(0, len(versions) - keep_n)]:
+                shutil.rmtree(entry.path)
+                removed.append(entry)
+            lineage_dir = versions[0].path.parent
+            if not any(lineage_dir.iterdir()):
+                lineage_dir.rmdir()
+        self.gc_removed += len(removed)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, object]:
+        """Aggregate counters, via a manifest-free walk.
+
+        ``stats()`` runs after every serving command (and on every
+        ``EmbeddingService.stats()`` poll), so it only stats directory names
+        and shard sizes instead of JSON-parsing each version's manifest like
+        :meth:`list` does.
+        """
+        entries = lineages = nbytes = 0
+        if self.root.is_dir():
+            for lineage in self.root.iterdir():
+                if not lineage.is_dir() or lineage.name.startswith("."):
+                    continue
+                had_version = False
+                for vdir in lineage.glob("v*"):
+                    if not (vdir / "manifest.json").is_file():
+                        continue
+                    had_version = True
+                    entries += 1
+                    nbytes += sum(f.stat().st_size
+                                  for f in vdir.glob("embedding-*.npy"))
+                lineages += had_version
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "lineages": lineages,
+            "bytes": nbytes,
+            "saves": self.saves,
+            "loads": self.loads,
+            "gc_removed": self.gc_removed,
+        }
+
+
+def _jsonable(obj: object) -> object:
+    """Deep-convert numpy scalars/arrays so the manifest stays valid JSON."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj

@@ -62,6 +62,40 @@ class TestHierarchyCache:
                                        lambda: embedder.coarsen(small_power_graph))
         assert hit is False
 
+    def test_lru_eviction_order_respects_recent_use(
+            self, small_power_graph, tiny_graph, community_graph):
+        """Eviction is least-RECENTLY-used, not least-recently-built: a hit
+        refreshes an entry, so inserting a third entry must evict the one
+        that was *not* touched since."""
+        cache = HierarchyCache(max_entries=2)
+        cfg = NORMAL.scaled(0.02, dim=8)
+        embedder = GoshEmbedder(cfg)
+        build = lambda g: (lambda: embedder.coarsen(g))  # noqa: E731
+        cache.get_or_build(small_power_graph, cfg, build(small_power_graph))
+        cache.get_or_build(tiny_graph, cfg, build(tiny_graph))
+        # Touch the older entry, then overflow the cache.
+        _, _, hit = cache.get_or_build(small_power_graph, cfg, build(small_power_graph))
+        assert hit is True
+        cache.get_or_build(community_graph, cfg, build(community_graph))
+        # tiny_graph (least recently used) is gone; small_power_graph stays.
+        _, _, hit = cache.get_or_build(small_power_graph, cfg, build(small_power_graph))
+        assert hit is True
+        _, _, hit = cache.get_or_build(tiny_graph, cfg, build(tiny_graph))
+        assert hit is False
+
+    def test_hit_miss_counters_and_clear(self, small_power_graph, tiny_graph):
+        cache = HierarchyCache(max_entries=1)
+        cfg = NORMAL.scaled(0.02, dim=8)
+        embedder = GoshEmbedder(cfg)
+        build = lambda g: (lambda: embedder.coarsen(g))  # noqa: E731
+        cache.get_or_build(small_power_graph, cfg, build(small_power_graph))   # miss
+        cache.get_or_build(small_power_graph, cfg, build(small_power_graph))   # hit
+        cache.get_or_build(tiny_graph, cfg, build(tiny_graph))                 # miss+evict
+        cache.get_or_build(small_power_graph, cfg, build(small_power_graph))   # miss again
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 3}
+        cache.clear()
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
 
 class TestEmbeddingService:
     def test_repeated_graph_skips_recoarsening(self, small_power_graph):
@@ -130,6 +164,33 @@ class TestEmbeddingService:
         stats = service.stats()
         assert stats["requests_served"] == 2
         assert stats["requests_failed"] == 1
+
+    def test_batch_result_ordering_under_mixed_failures(self, small_power_graph):
+        """Every response lands at its request's index: failures interleaved
+        with successes must not shift, drop, or reorder entries."""
+        nano = SimulatedDevice(spec=DeviceSpec(name="nano", memory_bytes=1024))
+        service = EmbeddingService(dim=8, epoch_scale=0.02, device=nano)
+        requests = [
+            EmbedRequest("graphvite", small_power_graph),            # fails
+            EmbedRequest("verse", small_power_graph),
+            EmbedRequest("graphvite", small_power_graph, seed=1),    # fails
+            EmbedRequest("gosh-fast", small_power_graph),
+            EmbedRequest("graphvite", small_power_graph, seed=2),    # fails
+        ]
+        results = service.embed_batch(requests)
+        assert len(results) == len(requests)
+        failed_positions = [i for i, r in enumerate(results)
+                            if isinstance(r, BatchFailure)]
+        assert failed_positions == [0, 2, 4]
+        assert results[1].tool == "verse"
+        assert results[3].tool == "gosh-fast"
+        # Each failure records the request that produced it, in place.
+        for i in failed_positions:
+            assert results[i].request is requests[i]
+            assert isinstance(results[i].error, DeviceMemoryError)
+        stats = service.stats()
+        assert stats["requests_served"] == 2
+        assert stats["requests_failed"] == 3
 
     def test_batch_all_success_reports_no_failures(self, small_power_graph):
         service = EmbeddingService(dim=8, epoch_scale=0.02)

@@ -170,3 +170,43 @@ class TestTransformations:
         sym = g.symmetrized()
         assert sym.has_edge(1, 0)
         assert sym.has_edge(2, 1)
+
+
+class TestFingerprint:
+    """fingerprint() is the store/cache key: content-keyed and memoised."""
+
+    def test_content_keyed_not_name_keyed(self, tiny_graph):
+        renamed = CSRGraph(xadj=tiny_graph.xadj.copy(), adj=tiny_graph.adj.copy(),
+                           num_vertices=tiny_graph.num_vertices, name="other")
+        assert renamed.fingerprint() == tiny_graph.fingerprint()
+        other = CSRGraph.from_edges(6, [(0, 1)], name=tiny_graph.name)
+        assert other.fingerprint() != tiny_graph.fingerprint()
+
+    def test_memoised_on_the_instance(self, tiny_graph, monkeypatch):
+        """Every store save/load and serving request fingerprints the graph;
+        the CSR arrays must be hashed exactly once per instance."""
+        import hashlib
+
+        calls = []
+        real = hashlib.blake2b
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(hashlib, "blake2b", counting)
+        first = tiny_graph.fingerprint()
+        for _ in range(5):
+            assert tiny_graph.fingerprint() == first
+        assert len(calls) == 1
+
+    def test_copy_carries_the_memoised_fingerprint(self, tiny_graph):
+        fp = tiny_graph.fingerprint()
+        clone = tiny_graph.copy()
+        assert clone._fingerprint == fp     # no re-hash needed
+        assert clone.fingerprint() == fp
+
+    def test_copy_before_fingerprinting_hashes_lazily(self, tiny_graph):
+        clone = tiny_graph.copy()
+        assert clone._fingerprint is None
+        assert clone.fingerprint() == tiny_graph.fingerprint()

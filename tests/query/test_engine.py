@@ -1,0 +1,114 @@
+"""Tests for the QueryEngine serving object (and its store integration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingResult
+from repro.query import QueryEngine
+from repro.store import EmbeddingStore
+
+
+@pytest.fixture
+def matrix(rng) -> np.ndarray:
+    m = rng.standard_normal((120, 8)).astype(np.float32)
+    m[30] = m[10]                                   # guaranteed duplicate
+    return m
+
+
+class TestQuery:
+    def test_query_shapes_and_ranking(self, matrix):
+        engine = QueryEngine(matrix, metric="cosine")
+        result = engine.query(matrix[:3], k=5)
+        assert result.ids.shape == (3, 5)
+        assert result.scores.shape == (3, 5)
+        # Scores are ranked descending per query.
+        assert (np.diff(result.scores, axis=1) <= 0).all()
+        # A stored vector's best match is itself (cosine 1.0).
+        assert result.ids[0, 0] == 0
+        assert result.backend == "blocked"
+
+    def test_backend_override_per_call(self, matrix):
+        engine = QueryEngine(matrix, metric="dot")
+        blocked = engine.query(matrix[:2], k=4)
+        exact = engine.query(matrix[:2], k=4, backend="exact")
+        assert exact.backend == "exact"
+        assert (blocked.ids == exact.ids).all()
+        assert (blocked.scores == exact.scores).all()
+
+    def test_nearest_excludes_self_by_default(self, matrix):
+        engine = QueryEngine(matrix, metric="cosine")
+        result = engine.nearest([10, 0], k=4)
+        assert result.ids.shape == (2, 4)
+        assert 10 not in result.ids[0]
+        assert result.ids[0, 0] == 30               # the duplicate row
+        assert 0 not in result.ids[1]
+
+    def test_nearest_can_include_self(self, matrix):
+        engine = QueryEngine(matrix, metric="cosine")
+        result = engine.nearest(10, k=3, exclude_self=False)
+        assert result.ids[0, 0] == 10               # smaller id wins the tie
+        assert result.ids[0, 1] == 30
+
+    def test_nearest_rejects_out_of_range(self, matrix):
+        engine = QueryEngine(matrix)
+        with pytest.raises(ValueError, match="vertex ids"):
+            engine.nearest(len(matrix), k=2)
+        with pytest.raises(ValueError, match="vertex ids"):
+            engine.nearest(-1, k=2)
+
+    def test_validation(self, matrix):
+        with pytest.raises(ValueError, match="metric"):
+            QueryEngine(matrix, metric="euclid")
+        with pytest.raises(ValueError, match="block_rows"):
+            QueryEngine(matrix, block_rows=0)
+        engine = QueryEngine(matrix)
+        with pytest.raises(ValueError, match="k must be"):
+            engine.query(matrix[0], k=0)
+
+    def test_stats_counters(self, matrix):
+        engine = QueryEngine(matrix, metric="dot", block_rows=50)
+        engine.query(matrix[:3], k=2)
+        engine.nearest(5, k=2)
+        stats = engine.stats()
+        assert stats["queries_served"] == 4
+        assert stats["batches_served"] == 2
+        assert stats["rows_scored"] == 4 * len(matrix)
+        assert stats["metric"] == "dot"
+        assert stats["backend"] == "blocked"
+        assert stats["shape"] == [120, 8]
+        assert stats["query_seconds"] >= 0.0
+
+    def test_describe_mentions_shape_and_backend(self, matrix):
+        engine = QueryEngine(matrix, metric="sigmoid", backend="exact")
+        text = engine.describe()
+        assert "120x8" in text and "sigmoid" in text and "exact" in text
+
+
+class TestStoreIntegration:
+    def test_engine_over_mmapped_store_entry(self, tmp_path, matrix, tiny_graph):
+        """The serving path: save -> load(mmap=True) -> query, no copies."""
+        store = EmbeddingStore(tmp_path)
+        result = EmbeddingResult(embedding=matrix, tool="gosh-fast",
+                                 graph="tiny", seconds=0.1,
+                                 metadata={"dim": 8})
+        store.save(result, graph=tiny_graph)
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast", mmap=True)
+        engine = QueryEngine(loaded.embedding, metric="cosine")
+        # float32 C-contiguous mmap is served in place — no resident copy.
+        assert np.shares_memory(engine.prepared.matrix, loaded.embedding)
+        fresh = QueryEngine(matrix, metric="cosine")
+        a = engine.nearest([10, 99], k=5)
+        b = fresh.nearest([10, 99], k=5)
+        assert (a.ids == b.ids).all()
+        assert (a.scores == b.scores).all()
+
+    def test_result_rows_for_tables(self, matrix):
+        engine = QueryEngine(matrix, metric="cosine")
+        result = engine.nearest([10], k=2)
+        rows = result.as_rows(query_labels=[10])
+        assert rows[0]["query"] == 10
+        assert rows[0]["rank"] == 1
+        assert rows[0]["neighbor"] == 30
+        assert "cosine" in rows[0]

@@ -1,0 +1,279 @@
+"""Tier-1 tests for the versioned on-disk embedding store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingResult
+from repro.store import EmbeddingStore, StoreError, config_hash
+
+
+def make_result(matrix: np.ndarray, *, tool: str = "gosh-fast",
+                graph: str = "tiny", **metadata) -> EmbeddingResult:
+    return EmbeddingResult(
+        embedding=matrix,
+        tool=tool,
+        graph=graph,
+        seconds=1.25,
+        timings={"coarsening": 0.25, "training": 1.0},
+        stats={"levels": 3, "level_sizes": [6, 3, 2]},
+        metadata={"dim": int(matrix.shape[1]), "seed": 0, **metadata},
+    )
+
+
+@pytest.fixture
+def matrix(rng) -> np.ndarray:
+    return rng.standard_normal((37, 8)).astype(np.float32)
+
+
+class TestRoundTrip:
+    def test_save_load_reproduces_embedding_exactly(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        store.save(make_result(matrix), graph=tiny_graph)
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast")
+        assert loaded.embedding.dtype == matrix.dtype
+        assert (loaded.embedding == matrix).all()
+        assert loaded.tool == "gosh-fast"
+        assert loaded.graph == "tiny"
+        assert loaded.timings == {"coarsening": 0.25, "training": 1.0}
+        assert loaded.stats["level_sizes"] == [6, 3, 2]
+        assert loaded.metadata["dim"] == 8
+
+    def test_mmap_load_is_zero_copy(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        store.save(make_result(matrix), graph=tiny_graph)
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast", mmap=True)
+        assert isinstance(loaded.embedding, np.memmap)
+        assert (np.asarray(loaded.embedding) == matrix).all()
+        assert loaded.metadata["store"]["mmap"] is True
+
+    def test_sharded_round_trip(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path, shard_rows=10)
+        entry = store.save(make_result(matrix), graph=tiny_graph)
+        assert len(entry.manifest["shards"]) == 4          # 37 rows / 10
+        assert [s["rows"] for s in entry.manifest["shards"]] == [10, 10, 10, 7]
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast", mmap=True)
+        assert (np.asarray(loaded.embedding) == matrix).all()
+
+    def test_shards_are_plain_npy_files(self, tmp_path, matrix, tiny_graph):
+        """Any NumPy consumer can read the shards without repro installed."""
+        store = EmbeddingStore(tmp_path)
+        entry = store.save(make_result(matrix), graph=tiny_graph)
+        raw = np.load(entry.path / entry.manifest["shards"][0]["file"])
+        assert (raw == matrix).all()
+        manifest = json.loads((entry.path / "manifest.json").read_text())
+        assert manifest["shape"] == [37, 8]
+        assert manifest["dtype"] == "float32"
+
+    def test_metadata_provenance_stamped_on_load(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        entry = store.save(make_result(matrix), graph=tiny_graph)
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast")
+        assert loaded.metadata["graph_fingerprint"] == tiny_graph.fingerprint()
+        assert loaded.metadata["store"]["version"] == entry.version
+
+    def test_save_requires_a_graph_identity(self, tmp_path, matrix):
+        store = EmbeddingStore(tmp_path)
+        with pytest.raises(ValueError, match="graph"):
+            store.save(make_result(matrix))
+
+    def test_save_accepts_stamped_metadata(self, tmp_path, matrix, tiny_graph):
+        """Results that went through EmbeddingService carry their own key."""
+        store = EmbeddingStore(tmp_path)
+        result = make_result(matrix)
+        result.metadata["graph_fingerprint"] = tiny_graph.fingerprint()
+        entry = store.save(result)
+        assert entry.fingerprint == tiny_graph.fingerprint()
+
+
+class TestVersioning:
+    def test_versions_increment(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        v1 = store.save(make_result(matrix), graph=tiny_graph)
+        v2 = store.save(make_result(matrix + 1), graph=tiny_graph)
+        assert (v1.version, v2.version) == (1, 2)
+        assert store.latest(tiny_graph.fingerprint(), "gosh-fast").version == 2
+        newest = store.load(tiny_graph.fingerprint(), "gosh-fast")
+        assert (newest.embedding == matrix + 1).all()
+        pinned = store.load(tiny_graph.fingerprint(), "gosh-fast", version=1)
+        assert (pinned.embedding == matrix).all()
+
+    def test_distinct_configs_get_distinct_lineages(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        a = store.save(make_result(matrix, epochs=100), graph=tiny_graph)
+        b = store.save(make_result(matrix, epochs=200), graph=tiny_graph)
+        assert a.config_hash != b.config_hash
+        assert (a.version, b.version) == (1, 1)
+        entries = store.list(tiny_graph.fingerprint())
+        assert len(entries) == 2
+
+    def test_config_hash_ignores_provenance_keys(self):
+        base = {"dim": 8, "seed": 0}
+        stamped = {"dim": 8, "seed": 0, "graph_fingerprint": "abc",
+                   "store": {"version": 3}}
+        assert config_hash(base) == config_hash(stamped)
+        assert config_hash(base) != config_hash({"dim": 16, "seed": 0})
+
+    def test_config_hash_survives_a_store_round_trip(self, tmp_path, matrix,
+                                                     tiny_graph):
+        """Saving a loaded result must extend its lineage, not fork a new
+        one — even when the original metadata held numpy scalars (which the
+        manifest serialises to plain ints/floats)."""
+        result = make_result(matrix, epochs=np.int64(100),
+                             lr=np.float32(0.05))
+        store = EmbeddingStore(tmp_path)
+        original = store.save(result, graph=tiny_graph)
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast")
+        resaved = store.save(loaded, graph=tiny_graph)
+        assert resaved.config_hash == original.config_hash
+        assert resaved.version == original.version + 1
+
+    def test_version_pin_across_lineages_resolves_newest(self, tmp_path, matrix,
+                                                         tiny_graph):
+        """The same version number exists in every lineage; an unpinned
+        version lookup must break the tie by save time (like latest), not by
+        lineage sort order."""
+        store = EmbeddingStore(tmp_path)
+        store.save(make_result(matrix, epochs=100), graph=tiny_graph)
+        newer = store.save(make_result(matrix + 1, epochs=200), graph=tiny_graph)
+        # Both lineages have a v0001; force distinct save times.
+        manifest_path = newer.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["created_at"] += 10.0
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast", version=1)
+        assert (loaded.embedding == matrix + 1).all()
+        pinned = store.load(tiny_graph.fingerprint(), "gosh-fast", version=1,
+                            config_hash=config_hash(make_result(matrix, epochs=100).metadata))
+        assert (pinned.embedding == matrix).all()
+
+    def test_list_filters(self, tmp_path, matrix, tiny_graph, ring_graph):
+        store = EmbeddingStore(tmp_path)
+        store.save(make_result(matrix, tool="gosh-fast"), graph=tiny_graph)
+        store.save(make_result(matrix, tool="verse"), graph=tiny_graph)
+        store.save(make_result(matrix, tool="verse"), graph=ring_graph)
+        assert len(store.list()) == 3
+        assert len(store.list(tiny_graph.fingerprint())) == 2
+        assert len(store.list(tool="verse")) == 2
+        assert len(store.list(tiny_graph.fingerprint(), "verse")) == 1
+
+    def test_missing_entry_raises_store_error(self, tmp_path, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        with pytest.raises(StoreError, match="no stored embedding"):
+            store.load(tiny_graph.fingerprint(), "gosh-fast")
+        assert store.latest(tiny_graph.fingerprint(), "gosh-fast") is None
+
+    def test_missing_version_raises_store_error(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        store.save(make_result(matrix), graph=tiny_graph)
+        with pytest.raises(StoreError, match="no version 9"):
+            store.load(tiny_graph.fingerprint(), "gosh-fast", version=9)
+
+    def test_racing_saves_retry_to_the_next_version(self, tmp_path, matrix,
+                                                    tiny_graph, monkeypatch):
+        """When two writers race a lineage, the rename loser must commit as
+        the next version instead of crashing and losing the embedding."""
+        store = EmbeddingStore(tmp_path)
+        first = store.save(make_result(matrix), graph=tiny_graph)
+        # Simulate the race: the second save first sees the version the
+        # winner already claimed, then (on retry) the truth.
+        real = EmbeddingStore._next_version
+        seen = iter([first.version, None])
+
+        def racing(lineage):
+            forced = next(seen)
+            return forced if forced is not None else real(lineage)
+
+        monkeypatch.setattr(EmbeddingStore, "_next_version",
+                            staticmethod(racing))
+        second = store.save(make_result(matrix + 1), graph=tiny_graph)
+        assert second.version == first.version + 1
+        assert second.manifest["version"] == second.version
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast",
+                            version=second.version)
+        assert (loaded.embedding == matrix + 1).all()
+        # The winner's entry is untouched.
+        assert (store.load(tiny_graph.fingerprint(), "gosh-fast",
+                           version=first.version).embedding == matrix).all()
+
+    def test_crashed_save_is_invisible(self, tmp_path, matrix, tiny_graph):
+        """A leftover staging directory must never be served as an entry."""
+        store = EmbeddingStore(tmp_path)
+        entry = store.save(make_result(matrix), graph=tiny_graph)
+        staging = entry.path.parent / ".tmp-v0002-crashed"
+        staging.mkdir()
+        (staging / "embedding-00000.npy").write_bytes(b"garbage")
+        assert [e.version for e in store.list()] == [1]
+        assert store._next_version(entry.path.parent) == 2
+
+
+class TestGC:
+    def test_gc_keeps_newest_n(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        for i in range(5):
+            store.save(make_result(matrix + i), graph=tiny_graph)
+        removed = store.gc(keep_n=2)
+        assert sorted(e.version for e in removed) == [1, 2, 3]
+        kept = store.list(tiny_graph.fingerprint(), "gosh-fast")
+        assert [e.version for e in kept] == [4, 5]
+        # The surviving newest version still loads exactly.
+        loaded = store.load(tiny_graph.fingerprint(), "gosh-fast")
+        assert (loaded.embedding == matrix + 4).all()
+
+    def test_gc_is_per_lineage(self, tmp_path, matrix, tiny_graph, ring_graph):
+        store = EmbeddingStore(tmp_path)
+        for g in (tiny_graph, ring_graph):
+            store.save(make_result(matrix), graph=g)
+            store.save(make_result(matrix), graph=g)
+        removed = store.gc(keep_n=1)
+        assert len(removed) == 2
+        assert len(store.list()) == 2
+        assert {e.fingerprint for e in store.list()} == {
+            tiny_graph.fingerprint(), ring_graph.fingerprint()}
+
+    def test_gc_zero_empties_the_store(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        store.save(make_result(matrix), graph=tiny_graph)
+        store.gc(keep_n=0)
+        assert store.list() == []
+        assert store.stats()["entries"] == 0
+
+    def test_gc_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            EmbeddingStore(tmp_path).gc(keep_n=-1)
+
+
+class TestStats:
+    def test_counters(self, tmp_path, matrix, tiny_graph):
+        store = EmbeddingStore(tmp_path)
+        store.save(make_result(matrix), graph=tiny_graph)
+        store.save(make_result(matrix), graph=tiny_graph)
+        store.load(tiny_graph.fingerprint(), "gosh-fast")
+        store.gc(keep_n=1)
+        stats = store.stats()
+        assert stats["saves"] == 2
+        assert stats["loads"] == 1
+        assert stats["gc_removed"] == 1
+        assert stats["entries"] == 1
+        assert stats["lineages"] == 1
+        # On-disk size: the raw matrix plus the .npy header.
+        assert matrix.nbytes <= stats["bytes"] <= matrix.nbytes + 1024
+
+    def test_numpy_values_in_stats_stay_json_safe(self, tmp_path, matrix, tiny_graph):
+        """Manifests must serialise results whose stats hold numpy scalars."""
+        result = make_result(matrix)
+        result.stats["kernels"] = np.int64(42)
+        result.stats["sizes"] = np.array([3, 2, 1])
+        store = EmbeddingStore(tmp_path)
+        entry = store.save(result, graph=tiny_graph)
+        manifest = json.loads((entry.path / "manifest.json").read_text())
+        assert manifest["stats"]["kernels"] == 42
+        assert manifest["stats"]["sizes"] == [3, 2, 1]
+
+    def test_empty_root_lists_nothing(self, tmp_path):
+        store = EmbeddingStore(tmp_path / "never-created")
+        assert store.list() == []
+        assert store.stats()["entries"] == 0

@@ -73,6 +73,146 @@ class TestCommands:
             main(["coarsen", "no-such-graph-or-file"])
 
 
+class TestStoreAndQueryCli:
+    def _embed_and_save(self, tmp_path, capsys):
+        out_path = tmp_path / "emb.npy"
+        code = main(["embed", "com-amazon", "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "-o", str(out_path),
+                     "--save", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_embed_save_writes_store_entry(self, tmp_path, capsys):
+        out = self._embed_and_save(tmp_path, capsys)
+        assert "stored:" in out and "v0001" in out
+        lineages = [p for p in (tmp_path / "store").iterdir() if p.is_dir()]
+        assert len(lineages) == 1
+        assert (lineages[0] / "v0001" / "manifest.json").is_file()
+
+    def test_export_round_trips_saved_embedding(self, tmp_path, capsys):
+        self._embed_and_save(tmp_path, capsys)
+        exported = tmp_path / "export.npy"
+        code = main(["export", "com-amazon", "--tool", "gosh-fast",
+                     "--store-dir", str(tmp_path / "store"), "-o", str(exported)])
+        assert code == 0
+        assert "exported gosh-fast v0001" in capsys.readouterr().out
+        a = np.load(tmp_path / "emb.npy")
+        b = np.load(exported)
+        assert (a == b).all()
+
+    def test_export_list_and_gc(self, tmp_path, capsys):
+        self._embed_and_save(tmp_path, capsys)
+        self._embed_and_save(tmp_path, capsys)
+        code = main(["export", "--list", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "v0001" in out and "v0002" in out
+        code = main(["export", "--gc-keep", "1", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entries" in out
+        assert "v0002" in out and "| v0001" not in out
+
+    def test_export_missing_entry_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no stored embedding"):
+            main(["export", "com-amazon", "--tool", "gosh-fast",
+                  "--store-dir", str(tmp_path / "store"), "-o", str(tmp_path / "x.npy")])
+
+    def test_export_without_tool_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="--tool"):
+            main(["export", "com-amazon", "--store-dir", str(tmp_path / "store")])
+
+    def test_query_embeds_stores_and_answers(self, tmp_path, capsys):
+        code = main(["query", "com-amazon", "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "--vertex", "3", "--vertex", "17",
+                     "--top-k", "4", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "embedded and stored: v0001" in out
+        assert "top-4 by cosine (blocked backend)" in out
+        # Serving stats are observable — and actually wired: the implicit
+        # embed must have gone through the service's hierarchy cache.
+        assert "hierarchy cache: 1 entries, 0 hits, 1 misses" in out
+        assert "store: 1 entries" in out
+        assert "query: 2 queries in 1 microbatch(es)" in out
+
+    def test_query_serves_from_store_second_time(self, tmp_path, capsys):
+        args = ["query", "com-amazon", "--config", "fast", "--dim", "8",
+                "--epoch-scale", "0.02", "--vertex", "0",
+                "--store-dir", str(tmp_path / "store")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "served from store: v0001" in capsys.readouterr().out
+
+    def test_query_with_query_file_and_exact_backend(self, tmp_path, capsys):
+        vectors = np.random.default_rng(0).standard_normal((2, 8)).astype(np.float32)
+        qfile = tmp_path / "queries.npy"
+        np.save(qfile, vectors)
+        code = main(["query", "com-amazon", "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "--query-file", str(qfile),
+                     "--metric", "dot", "--query-backend", "exact", "--top-k", "2",
+                     "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-2 by dot (exact backend)" in out
+        assert "q0" in out and "q1" in out
+
+    def test_query_defaults_connect_to_embed_save(self, tmp_path, capsys):
+        """`embed --save` then `query` with no dim flags must serve from the
+        store (query's default dim adapts to whatever is stored) instead of
+        silently re-embedding under a different configuration."""
+        args = build_parser().parse_args(["query", "com-amazon"])
+        assert args.dim is None and args.epoch_scale == 1.0
+        self._embed_and_save(tmp_path, capsys)        # stores a dim-8 entry
+        code = main(["query", "com-amazon", "--config", "fast", "--vertex", "0",
+                     "--top-k", "3", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served from store: v0001" in out
+
+    def test_query_unknown_backend_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="faiss"):
+            main(["query", "com-amazon", "--query-backend", "faiss",
+                  "--store-dir", str(tmp_path / "store")])
+
+    def test_query_bad_knobs_fail_before_embedding(self, tmp_path):
+        """Invalid sizes must error out before any training runs."""
+        with pytest.raises(SystemExit, match="block_rows"):
+            main(["query", "com-amazon", "--block-rows", "0",
+                  "--store-dir", str(tmp_path / "store")])
+        with pytest.raises(SystemExit, match="top-k"):
+            main(["query", "com-amazon", "--top-k", "0",
+                  "--store-dir", str(tmp_path / "store")])
+        assert not (tmp_path / "store").exists()      # nothing was embedded
+
+    def test_gc_keep_honours_graph_and_tool_scope(self, tmp_path, capsys):
+        """A scoped --gc-keep must not collect other graphs' lineages."""
+        self._embed_and_save(tmp_path, capsys)        # com-amazon entry
+        code = main(["embed", "com-dblp", "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "-o", str(tmp_path / "d.npy"),
+                     "--save", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["export", "com-dblp", "--tool", "gosh-fast", "--gc-keep", "0",
+                     "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entries" in out             # only com-dblp collected
+        code = main(["export", "--list", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "com-amazon" in out                    # out-of-scope survivor
+        assert "com-dblp" not in out
+
+    def test_tools_reports_query_backends_and_store(self, tmp_path, capsys):
+        self._embed_and_save(tmp_path, capsys)
+        assert main(["tools", "--store-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "query backends: exact, blocked" in out
+        assert "store at" in out and "1 entries" in out
+
+
 class TestToolRegistryCli:
     def test_tools_lists_registry(self, capsys):
         assert main(["tools"]) == 0
