@@ -50,10 +50,12 @@ ROTATIONS = 3
 
 
 def _cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware, conservative)."""
+    cpu_count = os.cpu_count() or 1
     try:
-        return len(os.sched_getaffinity(0))
+        return min(len(os.sched_getaffinity(0)), cpu_count)
     except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+        return cpu_count
 
 
 @pytest.fixture(scope="module")
@@ -105,9 +107,14 @@ class TestPipelineSpeedup:
         assert np.array_equal(embeddings["sequential"], embeddings["pipelined"])
         assert stats["pipelined"].max_ready_pools <= 4   # S_GPU bound held
 
+        # Record the CPU budget alongside the measurement: a 0.975x "speedup"
+        # from a 1-CPU box is a fact about the runner, not the engine, and
+        # the artifact must say so (PR-4 caveat follow-up).
         record_perf_json("pipeline_perf", {
             "vertices": g.num_vertices, "edges": g.num_undirected_edges,
             "parts": NUM_PARTS, "cpus": _cpus(),
+            "cpu_count": os.cpu_count() or 1,
+            "floor_engaged": _cpus() >= 2,
             "sequential_ms": round(times["sequential"] * 1e3, 1),
             "pipelined_ms": round(times["pipelined"] * 1e3, 1),
             "produce_ms": round(produce * 1e3, 1),
@@ -116,9 +123,11 @@ class TestPipelineSpeedup:
             "floor": PIPELINE_SPEEDUP_FLOOR,
         })
 
-        if _cpus() < 2:
-            pytest.skip("thread overlap needs >= 2 CPUs; "
-                        "parity and bounds verified, speedup floor skipped")
+        if (os.cpu_count() or 1) < 2 or _cpus() < 2:
+            pytest.skip(
+                f"pipelined-overlap speedup floor needs >= 2 CPUs "
+                f"(os.cpu_count()={os.cpu_count()}, usable={_cpus()}); "
+                "parity and S_GPU bounds verified, floor skipped")
         speedup = times["sequential"] / times["pipelined"]
         assert speedup >= PIPELINE_SPEEDUP_FLOOR, (
             f"pipelined execution is only {speedup:.2f}x faster "

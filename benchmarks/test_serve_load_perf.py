@@ -1,0 +1,101 @@
+"""Perf smoke test: the resident server under traffic-scale load.
+
+Boots one warmed :class:`~repro.serve.QueryServer` (2k-vertex power-law
+graph, stored embedding, admission control at its defaults) and drives it
+closed-loop at **two concurrent-client counts**, exactly the testbed
+methodology of the related scalability work: every request stamped at
+creation, latency = reply receipt − create on the client's clock, server
+queue-wait attributed from the reply's timing breakdown.
+
+The recorded artifact (``bench_results/serve_load.json``) carries one row
+per client count — p50/p95/p99 latency, queries/s, rejection rate,
+queue-wait share — so CI accumulates an SLO trajectory next to the kernel
+and query floors.  The floor asserts the SLO itself at the higher client
+count: a minimum sustained queries/s and a bounded p99.  Floors are set far
+under local measurements (thousands of queries/s, single-digit-ms p99) so
+a noisy shared runner does not flake the non-blocking job.
+
+Marked ``perf`` so the tier-1 job skips it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EmbeddingService
+from repro.graph import powerlaw_cluster
+from repro.loadgen import LoadConfig, LoadGenerator
+from repro.serve import QueryServer, ServerThread
+
+from conftest import record_perf_json
+
+pytestmark = pytest.mark.perf
+
+CLIENT_COUNTS = (2, 8)
+DURATION_S = 1.5
+TOP_K = 10
+DIM = 16
+NUM_VERTICES = 2_000
+
+#: SLO floor at the higher client count.  Local closed-loop measurements on
+#: this workload run well past 1,000 queries/s with p99 under 10 ms; the
+#: floor leaves an order of magnitude for runner noise.
+MIN_QUERIES_PER_S = 100.0
+MAX_P99_MS = 500.0
+
+
+class TestServeUnderLoad:
+    def test_server_sustains_closed_loop_slo(self, tmp_path):
+        graph = powerlaw_cluster(NUM_VERTICES, m=3, seed=0)
+        service = EmbeddingService(dim=DIM, epoch_scale=0.05,
+                                   store=tmp_path / "store")
+        entry, _ = service.ensure_stored("gosh-fast", graph)   # warm once
+        server = QueryServer(service, {"bench": graph},
+                             default_tool="gosh-fast")
+        runs = []
+        with ServerThread(server) as address:
+            for clients in CLIENT_COUNTS:
+                report = LoadGenerator(LoadConfig(
+                    address=address, clients=clients, mode="closed",
+                    duration_s=DURATION_S, k=TOP_K,
+                    num_vertices=NUM_VERTICES, seed=clients)).run()
+                runs.append(report)
+                lat = report.latency_ms
+                print(f"\n[perf] serve {clients} closed-loop client(s) over "
+                      f"|V|={NUM_VERTICES}, dim={DIM}, k={TOP_K}: "
+                      f"{report.queries_per_s:,.0f} queries/s, "
+                      f"p50={lat['p50']:.2f}ms p95={lat['p95']:.2f}ms "
+                      f"p99={lat['p99']:.2f}ms, "
+                      f"rejections={report.rejected}, "
+                      f"queue-wait share={100 * report.queue_wait_share:.1f}%")
+
+        record_perf_json("serve_load", {
+            "graph": {"vertices": graph.num_vertices,
+                      "edges": graph.num_undirected_edges, "dim": DIM},
+            "mode": "closed", "duration_s": DURATION_S, "top_k": TOP_K,
+            "admission": {"max_inflight": server.max_inflight,
+                          "queue_depth": server.queue_depth,
+                          "max_batch": server.max_batch},
+            "runs": [r.as_json() for r in runs],
+            "server": {"microbatches": server.microbatches,
+                       "max_batch_seen": server.max_batch_seen,
+                       "queries_answered": server.queries_answered},
+            "floor": {"min_queries_per_s": MIN_QUERIES_PER_S,
+                      "max_p99_ms": MAX_P99_MS,
+                      "at_clients": CLIENT_COUNTS[-1]},
+        })
+
+        # Health invariants at every load level.
+        for report in runs:
+            assert report.errors == 0
+            assert report.timeouts == 0 and report.disconnects == 0
+            assert report.answered > 0
+
+        # The SLO floor at the highest client count.
+        heavy = runs[-1]
+        assert heavy.queries_per_s >= MIN_QUERIES_PER_S, (
+            f"server sustained only {heavy.queries_per_s:,.1f} queries/s "
+            f"under {heavy.clients} clients (floor: {MIN_QUERIES_PER_S})")
+        assert heavy.latency_ms["p99"] <= MAX_P99_MS, (
+            f"p99 latency {heavy.latency_ms['p99']:.1f}ms exceeds the "
+            f"{MAX_P99_MS}ms bound under {heavy.clients} clients")

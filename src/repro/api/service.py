@@ -33,6 +33,7 @@ Example::
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
@@ -204,6 +205,13 @@ class EmbeddingService:
         self._evicted_batches = 0
         self._evicted_rows_scored = 0
         self._evicted_query_seconds = 0.0
+        self.engine_cache_hits = 0
+        self.engine_cache_misses = 0
+        self.engine_cache_evictions = 0
+        # The resident server calls query_batch from a worker thread while
+        # its stats verb reads the snapshot from the event loop; one lock
+        # makes both entries safe without callers coordinating.
+        self._serving_lock = threading.RLock()
 
     @staticmethod
     def _coerce_store(store: "EmbeddingStore | str | os.PathLike | None",
@@ -392,17 +400,20 @@ class EmbeddingService:
         key = _EngineKey(path=str(entry.path), metric=metric or self.metric,
                          backend=backend or self.query_backend)
         if key not in self._engines:
+            self.engine_cache_misses += 1
             loaded = store.load_entry(entry, mmap=True)
             self._engines[key] = QueryEngine(
                 loaded.embedding, metric=key.metric, backend=key.backend,
                 block_rows=self.query_block_rows)
         else:
+            self.engine_cache_hits += 1
             self._engines.move_to_end(key)
         return self._engines[key]
 
     def _drop_engine(self, key: _EngineKey) -> None:
         """Evict an engine, folding its counters into the cumulative totals."""
         engine = self._engines.pop(key)
+        self.engine_cache_evictions += 1
         self._evicted_batches += engine.batches_served
         self._evicted_rows_scored += engine.rows_scored
         self._evicted_query_seconds += engine.query_seconds
@@ -446,7 +457,15 @@ class EmbeddingService:
         and the answers are scattered back in request order.  Each response's
         ``result.seconds`` is the *shared* wall-clock of its microbatch (the
         requests were answered together; the time is not apportioned).
+
+        Thread-safe entry point: the whole batch runs under the serving
+        lock, so a resident server may call it from a worker thread while
+        :meth:`stats` is read elsewhere.
         """
+        with self._serving_lock:
+            return self._query_batch_locked(requests)
+
+    def _query_batch_locked(self, requests: Iterable[QueryRequest]) -> list[QueryResponse]:
         from ..query.engine import QueryResult
 
         requests = list(requests)
@@ -496,24 +515,39 @@ class EmbeddingService:
     # Observability
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, object]:
-        stats: dict[str, object] = {
-            "requests_served": self.requests_served,
-            "requests_failed": self.requests_failed,
-            "tools_resolved": sorted(self._tools),
-            "hierarchy_cache": self.hierarchy_cache.stats(),
-            "queries_served": self.queries_served,
-            "microbatches": self.microbatches,
-            "query_engines": len(self._engines),
-        }
-        if self.store is not None:
-            stats["store"] = self.store.stats()
-        if self._engines or self._evicted_batches:
-            stats["query"] = {
-                "batches": self._evicted_batches + sum(
-                    e.batches_served for e in self._engines.values()),
-                "rows_scored": self._evicted_rows_scored + sum(
-                    e.rows_scored for e in self._engines.values()),
-                "seconds": round(self._evicted_query_seconds + sum(
-                    e.query_seconds for e in self._engines.values()), 4),
+        """One coherent serving snapshot across every subsystem the service
+        touches: embed counters, the shared hierarchy cache, the store, the
+        engine LRU (hits/misses/evictions), and the cumulative query-backend
+        work.  This is the single read the resident server's ``stats`` verb
+        reports — callers never have to poke the store, engines, and caches
+        separately.  Taken under the serving lock, so it is consistent with
+        concurrent :meth:`query_batch` calls from other threads.
+        """
+        with self._serving_lock:
+            stats: dict[str, object] = {
+                "requests_served": self.requests_served,
+                "requests_failed": self.requests_failed,
+                "tools_resolved": sorted(self._tools),
+                "hierarchy_cache": self.hierarchy_cache.stats(),
+                "queries_served": self.queries_served,
+                "microbatches": self.microbatches,
+                "query_engines": len(self._engines),
+                "engine_cache": {
+                    "entries": len(self._engines),
+                    "hits": self.engine_cache_hits,
+                    "misses": self.engine_cache_misses,
+                    "evictions": self.engine_cache_evictions,
+                },
             }
-        return stats
+            if self.store is not None:
+                stats["store"] = self.store.stats()
+            if self._engines or self._evicted_batches:
+                stats["query"] = {
+                    "batches": self._evicted_batches + sum(
+                        e.batches_served for e in self._engines.values()),
+                    "rows_scored": self._evicted_rows_scored + sum(
+                        e.rows_scored for e in self._engines.values()),
+                    "seconds": round(self._evicted_query_seconds + sum(
+                        e.query_seconds for e in self._engines.values()), 4),
+                }
+            return stats

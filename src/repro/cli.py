@@ -1,6 +1,6 @@
 """Command-line interface for the GOSH reproduction.
 
-Seven subcommands cover the day-to-day workflow of the original tool plus
+Nine subcommands cover the day-to-day workflow of the original tool plus
 the serving side:
 
 * ``repro-gosh embed``    — embed an edge-list file (or a named synthetic
@@ -15,6 +15,12 @@ the serving side:
 * ``repro-gosh query``    — k-NN similarity queries over a stored embedding,
   embedding-and-saving first when the store has no entry yet (the
   :mod:`repro.query` surface via ``EmbeddingService.query``).
+* ``repro-gosh serve``    — run the resident NDJSON query server over a
+  graph (admission control, request timestamping, microbatched serving;
+  the :mod:`repro.serve` surface).
+* ``repro-gosh load``     — drive a running server with N concurrent
+  closed- or open-loop clients and report p50/p95/p99 latency, queries/s,
+  and rejection rate (the :mod:`repro.loadgen` surface).
 * ``repro-gosh tools``    — list the registered embedding tools.
 * ``repro-gosh datasets`` — list the registered synthetic twins (Table 2).
 
@@ -217,23 +223,37 @@ def cmd_query(args: argparse.Namespace) -> int:
     if hasattr(tool, "hierarchy_cache") and tool.hierarchy_cache is None:
         tool.hierarchy_cache = service.hierarchy_cache
     if args.query_file is not None:
-        vectors = np.load(args.query_file)
-        labels = [f"q{i}" for i in range(np.atleast_2d(vectors).shape[0])]
-        response = service.query(tool, graph, vectors=vectors, k=args.top_k)
+        # One QueryRequest per file entry through the ONE shared service —
+        # the warm path the resident server relies on: the first request
+        # resolves (or embeds) the stored entry and builds the engine, every
+        # later entry hits the engine cache, and the whole file still lands
+        # in microbatched backend calls.
+        from .api import QueryRequest
+
+        vectors = np.atleast_2d(np.load(args.query_file))
+        labels = [f"q{i}" for i in range(vectors.shape[0])]
+        responses = service.query_batch([
+            QueryRequest(tool, graph, vectors=vectors[i], k=args.top_k)
+            for i in range(vectors.shape[0])])
     else:
         vertices = args.vertex if args.vertex else [0]
         labels = list(vertices)
-        response = service.query(tool, graph, vertices=vertices, k=args.top_k)
-    result = response.result
+        responses = [service.query(tool, graph, vertices=vertices, k=args.top_k)]
+    first = responses[0]
     print(f"graph: {graph}")
     print(f"tool: {tool.name} — {tool.describe()}")
-    entry = response.entry
-    source = ("served from store" if response.store_hit
+    entry = first.entry
+    source = ("served from store" if first.store_hit
               else "embedded and stored")
     print(f"{source}: v{entry.version:04d} (config {entry.config_hash}) "
           f"under {entry.path.parent.name}")
-    print_table(result.as_rows(labels),
-                title=f"top-{args.top_k} by {result.metric} ({result.backend} backend)")
+    if len(responses) == 1:
+        rows = first.result.as_rows(labels)
+    else:
+        rows = [row for label, response in zip(labels, responses)
+                for row in response.result.as_rows([label])]
+    print_table(rows, title=f"top-{args.top_k} by {first.result.metric} "
+                            f"({first.result.backend} backend)")
     _print_serving_stats(service)
     return 0
 
@@ -253,6 +273,91 @@ def _print_serving_stats(service: EmbeddingService) -> None:
         print(f"query: {stats['queries_served']} queries in "
               f"{stats['microbatches']} microbatch(es), "
               f"{query['rows_scored']} rows scored in {query['seconds']}s")
+    engine_cache = stats.get("engine_cache")
+    if engine_cache and (engine_cache["hits"] or engine_cache["misses"]):
+        print(f"engine cache: {engine_cache['entries']} engine(s), "
+              f"{engine_cache['hits']} hits, {engine_cache['misses']} misses, "
+              f"{engine_cache['evictions']} evictions")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve import QueryServer, ServerThread
+
+    name = args.tool if args.tool else f"gosh-{args.config.strip().lower()}"
+    graph = _load_graph(args.graph, seed=args.seed)
+    try:
+        service = EmbeddingService(
+            dim=args.dim, epoch_scale=args.epoch_scale, seed=args.seed,
+            store=args.store_dir, metric=args.metric,
+            query_backend=args.query_backend, query_block_rows=args.block_rows)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if not args.no_warm:
+        # The whole point of a resident server: pay graph load + embedding
+        # (or store resolution) once, before the first client connects.
+        try:
+            entry, hit = service.ensure_stored(name, graph)
+        except (UnknownToolError, StoreError) as exc:
+            raise SystemExit(str(exc)) from exc
+        print(f"warm: {'served from store' if hit else 'embedded and stored'} "
+              f"v{entry.version:04d} (config {entry.config_hash})")
+    try:
+        server = QueryServer(
+            service, {args.graph: graph}, default_graph=args.graph,
+            default_tool=name, host=args.host, port=args.port,
+            socket_path=args.socket, max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth, max_batch=args.max_batch)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    handle = ServerThread(server)
+    address = handle.start()
+    print(f"serving graph {args.graph!r} with tool {name!r} on {address} "
+          f"(max_inflight={args.max_inflight}, queue_depth={args.queue_depth}, "
+          f"max_batch={args.max_batch}); Ctrl-C drains and exits")
+    try:
+        if args.max_seconds is not None:
+            time.sleep(args.max_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ndraining in-flight requests ...")
+    handle.stop()
+    print(f"served {server.queries_answered} queries in {server.microbatches} "
+          f"microbatch(es); {server.rejected_overload} overload rejection(s), "
+          f"{server.query_errors} error(s)")
+    _print_serving_stats(service)
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from .loadgen import LoadConfig, LoadGenerator
+
+    try:
+        config = LoadConfig(
+            address=args.address, clients=args.clients, mode=args.mode,
+            duration_s=args.duration, requests_per_client=args.requests_per_client,
+            rate_per_client=args.rate, k=args.top_k,
+            num_vertices=args.num_vertices, tool=args.tool,
+            graph=args.graph_name, seed=args.seed, timeout_s=args.timeout)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        report = LoadGenerator(config).run()
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot drive {args.address}: {exc}") from exc
+    for line in report.summary_lines():
+        print(line)
+    if args.json is not None:
+        payload = report.as_json()
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"report written to {args.json}")
+    # A run that never got an answer is a failed measurement, not a report.
+    return 0 if report.answered > 0 else 1
 
 
 def cmd_tools(args: argparse.Namespace) -> int:
@@ -400,6 +505,70 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows per scoring block for the blocked backend")
     add_store_option(p_query)
     p_query.set_defaults(func=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the resident NDJSON query server over a graph "
+                      "(warms the store, then answers k-NN queries until Ctrl-C)")
+    add_common(p_serve)
+    p_serve.add_argument("--tool", default=None,
+                         help="registered tool name served by default "
+                              "(frames may still name any tool); overrides --config")
+    p_serve.add_argument("--config", default="normal",
+                         help="GOSH configuration shorthand for --tool gosh-<config>")
+    p_serve.add_argument("--dim", type=int, default=None,
+                         help="embedding dimension; default: serve any stored "
+                              "dimension, embed at the tool default if missing")
+    p_serve.add_argument("--epoch-scale", type=float, default=1.0)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7654,
+                         help="TCP port to listen on (0 picks a free port)")
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="serve on a Unix socket instead of TCP")
+    p_serve.add_argument("--max-inflight", type=int, default=64,
+                         help="admission control: max admitted-but-unanswered "
+                              "requests before 'overloaded' replies")
+    p_serve.add_argument("--queue-depth", type=int, default=128,
+                         help="admission control: max requests waiting for a batch")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="max requests drained into one query_batch call")
+    p_serve.add_argument("--metric", choices=METRICS, default="cosine")
+    p_serve.add_argument("--query-backend", default=None, metavar="NAME")
+    p_serve.add_argument("--block-rows", type=int, default=4096)
+    p_serve.add_argument("--no-warm", action="store_true",
+                         help="skip the startup embed-if-missing warm-up")
+    p_serve.add_argument("--max-seconds", type=float, default=None,
+                         help="serve for N seconds then drain and exit "
+                              "(default: until Ctrl-C)")
+    add_store_option(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "load", help="drive a running query server with concurrent clients "
+                     "and report latency percentiles + queries/s")
+    p_load.add_argument("address",
+                        help="server address: host:port or unix:<path>")
+    p_load.add_argument("--clients", type=int, default=4)
+    p_load.add_argument("--mode", choices=("closed", "open"), default="closed",
+                        help="closed: one in-flight request per client; "
+                             "open: fixed-rate arrivals regardless of replies")
+    p_load.add_argument("--duration", type=float, default=2.0, metavar="SECONDS")
+    p_load.add_argument("--requests-per-client", type=int, default=None,
+                        metavar="N", help="closed loop: stop each client after N requests")
+    p_load.add_argument("--rate", type=float, default=50.0,
+                        help="open loop: requests per second per client")
+    p_load.add_argument("--top-k", type=int, default=10)
+    p_load.add_argument("--num-vertices", type=int, default=100,
+                        help="query vertex ids are drawn from [0, N)")
+    p_load.add_argument("--tool", default=None,
+                        help="tool name to put in frames (default: server default)")
+    p_load.add_argument("--graph-name", default=None,
+                        help="served graph name to put in frames (default: server default)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--timeout", type=float, default=30.0,
+                        help="per-reply wait bound in seconds")
+    p_load.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full report as JSON")
+    p_load.set_defaults(func=cmd_load)
 
     p_tools = sub.add_parser("tools", help="list the registered embedding tools")
     p_tools.add_argument("--dim", type=int, default=32)

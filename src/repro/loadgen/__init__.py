@@ -1,0 +1,12 @@
+"""Load-generation harness for the resident serving subsystem.
+
+Spawns N concurrent clients (closed- or open-loop) against a
+:class:`repro.serve.QueryServer`, stamps every request at creation, and
+reports p50/p95/p99 latency, queries/s, rejection rate, and the queue-wait
+share of server time — the traffic-scale measurement methodology of the
+scalability testbeds in PAPERS.md.  See :mod:`repro.loadgen.harness`.
+"""
+
+from .harness import LoadConfig, LoadGenerator, LoadReport
+
+__all__ = ["LoadConfig", "LoadGenerator", "LoadReport"]

@@ -1,0 +1,36 @@
+"""Resident serving subsystem: the long-lived process around the library.
+
+``repro.serve`` turns :class:`~repro.api.EmbeddingService` into a network
+service: a resident asyncio :class:`QueryServer` speaks newline-delimited
+JSON over TCP or a Unix socket, admission-controls every query (bounded
+queue + in-flight cap, explicit ``overloaded`` replies), timestamps each
+request (queue-wait vs. service-time breakdown in every reply), and drains
+the admission queue through :meth:`EmbeddingService.query_batch` so
+concurrent clients stack into shared microbatches.  ``stats`` frames read
+the admission counters, bounded latency histograms, and the service
+snapshot in one verb; :meth:`QueryServer.stop` drains in-flight work before
+exiting.
+
+:class:`ServerThread` runs the server on a daemon event-loop thread for
+synchronous callers; :class:`ServeClient` is the matching blocking client.
+The traffic-scale measurement side lives in :mod:`repro.loadgen`.
+"""
+
+from .client import ServeClient, parse_address
+from .metrics import LatencyHistogram
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    parse_query_request,
+)
+from .server import QueryServer, ServerThread
+
+__all__ = [
+    "QueryServer", "ServerThread", "ServeClient", "parse_address",
+    "LatencyHistogram", "FrameError", "ERROR_CODES", "MAX_FRAME_BYTES",
+    "encode_frame", "decode_frame", "error_reply", "parse_query_request",
+]

@@ -1,0 +1,87 @@
+"""Minimal blocking client for the NDJSON query server.
+
+The synchronous counterpart of :class:`~repro.serve.server.QueryServer`
+for scripts, tests, and the CLI: one socket, one request in flight,
+line-framed JSON both ways.  The load generator keeps many requests in
+flight and does its own asyncio I/O — this client is deliberately simple.
+"""
+
+from __future__ import annotations
+
+import socket
+from time import monotonic
+from typing import Any
+
+from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+__all__ = ["ServeClient", "parse_address"]
+
+
+def parse_address(address: str) -> "tuple[str, Any]":
+    """``host:port`` -> ("tcp", (host, port)); ``unix:<path>`` -> ("unix", path)."""
+    if address.startswith("unix:"):
+        return "unix", address[len("unix:"):]
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad server address {address!r}; expected host:port or unix:<path>")
+    return "tcp", (host or "127.0.0.1", int(port))
+
+
+class ServeClient:
+    """Blocking request/reply client over one server connection."""
+
+    def __init__(self, address: str, *, timeout_s: float = 30.0):
+        self.address = address
+        kind, target = parse_address(address)
+        if kind == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(target)
+        else:
+            self._sock = socket.create_connection(target, timeout=timeout_s)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------ #
+    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame and block for its reply line."""
+        self._sock.sendall(encode_frame(frame))
+        line = self._file.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    def query(self, *, vertices: "list[int] | int | None" = None,
+              vectors: "list[list[float]] | None" = None, k: int = 10,
+              tool: "str | None" = None, graph: "str | None" = None,
+              metric: "str | None" = None, backend: "str | None" = None,
+              exclude_self: "bool | None" = None,
+              request_id: Any = None) -> dict[str, Any]:
+        frame: dict[str, Any] = {"verb": "query", "k": k, "created": monotonic()}
+        for key, value in (("id", request_id), ("vertices", vertices),
+                           ("vectors", vectors), ("tool", tool),
+                           ("graph", graph), ("metric", metric),
+                           ("backend", backend), ("exclude_self", exclude_self)):
+            if value is not None:
+                frame[key] = value
+        return self.request(frame)
+
+    def stats(self) -> dict[str, Any]:
+        reply = self.request({"verb": "stats"})
+        return reply["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"verb": "ping"}).get("ok"))
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

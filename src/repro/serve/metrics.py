@@ -1,0 +1,81 @@
+"""Bounded-memory latency accounting for resident serving processes.
+
+A server that is meant to stay up under "millions of users" cannot keep a
+raw sample per request the way a benchmark harness can; it needs a
+fixed-size summary that still answers the questions the load harness asks
+(p50/p95/p99, mean, max).  :class:`LatencyHistogram` is the standard
+log-bucketed answer: geometric bucket edges from ``min_s`` to ``max_s``
+(default 1 µs → 60 s at 1.25× growth — ~84 buckets, <1 kB), O(1) observe,
+percentiles read off the cumulative counts.
+
+Quantiles are resolved to a bucket's upper edge, i.e. conservatively
+rounded *up* by at most the growth factor (25%); the exact observed
+``max`` clamps the top so a histogram never reports a percentile beyond
+what it actually saw.  The load generator, which holds every sample
+anyway, reports exact percentiles — the histogram is the server-side view.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram of non-negative durations (seconds)."""
+
+    def __init__(self, *, min_s: float = 1e-6, max_s: float = 60.0,
+                 growth: float = 1.25):
+        if not (0 < min_s < max_s):
+            raise ValueError("need 0 < min_s < max_s")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        num = int(math.ceil(math.log(max_s / min_s) / math.log(growth)))
+        # Upper edges of the finite buckets; one extra overflow bucket on top.
+        self.edges = min_s * growth ** np.arange(1, num + 1)
+        self.counts = np.zeros(num + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        s = max(float(seconds), 0.0)
+        # First bucket whose upper edge covers s; past the last edge this
+        # returns len(edges), the overflow bucket.
+        self.counts[int(np.searchsorted(self.edges, s, side="left"))] += 1
+        self.count += 1
+        self.total += s
+        self.min = min(self.min, s)
+        self.max = max(self.max, s)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100), resolved to a bucket upper edge."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * q / 100.0) or 1
+        bucket = int(np.searchsorted(np.cumsum(self.counts), target, side="left"))
+        upper = self.edges[bucket] if bucket < len(self.edges) else self.max
+        # Never report beyond (or below) what was actually observed.
+        return float(min(max(upper, self.min), self.max))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float | int]:
+        """The serving-dashboard view, in milliseconds."""
+        ms = 1e3
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * ms, 3),
+            "p50_ms": round(self.percentile(50) * ms, 3),
+            "p95_ms": round(self.percentile(95) * ms, 3),
+            "p99_ms": round(self.percentile(99) * ms, 3),
+            "max_ms": round((self.max if self.count else 0.0) * ms, 3),
+        }

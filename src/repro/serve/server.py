@@ -1,0 +1,489 @@
+"""`QueryServer` — the resident asyncio serving process over `EmbeddingService`.
+
+This is the piece that turns the library into a service: graphs are loaded
+and embeddings warmed **once**, then a long-lived process answers k-NN
+queries over the newline-delimited-JSON protocol (:mod:`repro.serve.protocol`)
+on a TCP or Unix socket.  The design goals, in order:
+
+* **Bounded under overload.**  Admission control gates every query: at most
+  ``max_inflight`` requests may be admitted-but-unanswered, and at most
+  ``queue_depth`` of those may be waiting in the admission queue.  A request
+  past either bound gets an immediate ``"code": "overloaded"`` reply — the
+  server never buffers unboundedly and never makes a client infer overload
+  from a timeout.
+* **Concurrency feeds the microbatcher.**  Admitted requests carry a future
+  and are drained — up to ``max_batch`` at a time — by a single batching
+  loop into one :meth:`EmbeddingService.query_batch` call, so concurrent
+  clients genuinely stack into shared backend scans (PR 5's microbatching)
+  instead of serialising one-by-one.  The service call runs in a worker
+  thread; the event loop keeps accepting and parsing frames meanwhile.
+* **Every request is timestamped.**  Monotonic stamps at receive, admission
+  into a batch, and answer give each reply a ``queue_wait_s`` / ``service_s``
+  / ``total_s`` breakdown, and feed the server's bounded
+  :class:`~repro.serve.metrics.LatencyHistogram`\\ s (surfaced by the
+  ``stats`` verb alongside the admission counters and the service's own
+  snapshot).
+* **Graceful drain.**  :meth:`stop` closes the listener, stops admitting
+  (``"shutting-down"`` replies), waits for every admitted request to be
+  answered, then tears the loops down — in-flight work is never dropped.
+
+Misbehaving clients cannot take the process down: malformed frames get
+``bad-frame`` replies on a live connection, a client that disconnects
+mid-request just has its reply dropped (the batch it joined still
+completes), and a request the service raises on is retried individually so
+one poisoned request cannot fail its batchmates.
+
+For synchronous callers (CLI, tests, the load-generator benchmark)
+:class:`ServerThread` runs the event loop on a daemon thread and exposes
+blocking ``start()``/``stop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .metrics import LatencyHistogram
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    parse_query_request,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api import QueryRequest
+
+__all__ = ["QueryServer", "ServerThread"]
+
+
+@dataclass
+class _Pending:
+    """One admitted query: the parsed request, its stamps, and its future."""
+
+    request: "QueryRequest"
+    request_id: Any
+    created: float | None            # client's own stamp, echoed back opaque
+    received: float                  # server monotonic at frame receipt
+    future: "asyncio.Future[dict[str, Any]]"
+    admitted: float = 0.0            # server monotonic at batch admission
+
+
+@dataclass(eq=False)       # identity semantics: connections live in a set
+class _Connection:
+    """Per-connection state: serialized writes + liveness for reply drops."""
+
+    writer: asyncio.StreamWriter
+    out: "asyncio.Queue[bytes | None]" = field(default_factory=asyncio.Queue)
+    writer_task: "asyncio.Task | None" = None
+    closed: bool = False
+
+
+class QueryServer:
+    """Resident NDJSON k-NN server over an :class:`EmbeddingService`.
+
+    ``service`` needs only ``query_batch(requests)`` and ``stats()`` — the
+    production object is :class:`repro.api.EmbeddingService`, tests inject
+    stubs.  ``graphs`` maps request-visible names to loaded graphs;
+    ``default_graph``/``default_tool`` fill in omitted frame fields (the
+    single-graph, single-tool deployment needs no per-request naming).
+    """
+
+    def __init__(self, service, graphs: Mapping[str, Any], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 socket_path: "str | None" = None,
+                 default_graph: "str | None" = None,
+                 default_tool: "str | None" = None,
+                 max_inflight: int = 64, queue_depth: int = 128,
+                 max_batch: int = 32):
+        if not graphs:
+            raise ValueError("serve at least one graph")
+        if max_inflight < 1 or queue_depth < 1 or max_batch < 1:
+            raise ValueError("max_inflight, queue_depth and max_batch must be >= 1")
+        if default_graph is None and len(graphs) == 1:
+            default_graph = next(iter(graphs))
+        if default_graph is not None and default_graph not in graphs:
+            raise ValueError(f"default_graph {default_graph!r} is not a served graph")
+        self.service = service
+        self.graphs = dict(graphs)
+        self.host, self.port, self.socket_path = host, port, socket_path
+        self.default_graph, self.default_tool = default_graph, default_tool
+        self.max_inflight, self.queue_depth, self.max_batch = (
+            max_inflight, queue_depth, max_batch)
+
+        # Admission + lifecycle state (all touched only on the event loop).
+        self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
+        self._inflight = 0
+        self._stopping = False
+        self._server: "asyncio.base_events.Server | None" = None
+        self._batch_task: "asyncio.Task | None" = None
+        self._drained: "asyncio.Event | None" = None
+        self._connections: set[_Connection] = set()
+
+        # Serving counters (read by the stats verb).
+        self.connections_total = 0
+        self.frames_received = 0
+        self.queries_admitted = 0
+        self.queries_answered = 0
+        self.query_errors = 0
+        self.rejected_overload = 0
+        self.rejected_shutdown = 0
+        self.malformed_frames = 0
+        self.batch_failures = 0
+        self.replies_dropped = 0
+        self.microbatches = 0
+        self.max_batch_seen = 0
+        self.queue_wait = LatencyHistogram()
+        self.service_time = LatencyHistogram()
+        self.total_time = LatencyHistogram()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> str:
+        """Connectable address string: ``host:port`` or ``unix:<path>``."""
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> str:
+        """Bind, spawn the batching loop, and return the bound address."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._batch_task = asyncio.get_running_loop().create_task(self._batch_loop())
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connect, path=self.socket_path, limit=MAX_FRAME_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connect, self.host, self.port, limit=MAX_FRAME_BYTES)
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def stop(self) -> None:
+        """Graceful drain: stop admitting, answer everything admitted, close.
+
+        Safe to call more than once; later calls just wait for the first
+        drain to finish.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._drained is not None:
+            await self._drained.wait()            # every admitted query answered
+        if self._batch_task is not None:
+            self._batch_task.cancel()
+            try:
+                await self._batch_task
+            except asyncio.CancelledError:
+                pass
+            self._batch_task = None
+        for conn in list(self._connections):
+            await self._close_connection(conn)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer=writer)
+        self._connections.add(conn)
+        self.connections_total += 1
+        conn.writer_task = asyncio.get_running_loop().create_task(self._write_loop(conn))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError, asyncio.LimitOverrunError,
+                        asyncio.IncompleteReadError):
+                    # Reset, or a line past the frame limit: drop the client.
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                self.frames_received += 1
+                await self._handle_frame(line, conn)
+        finally:
+            await self._close_connection(conn)
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        """Single writer per connection: replies come from the reader task
+        (immediate verbs) *and* from batch-completion forwarders, so all
+        writes funnel through one queue to keep frames unmangled."""
+        while True:
+            payload = await conn.out.get()
+            if payload is None:
+                break
+            try:
+                conn.writer.write(payload)
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                conn.closed = True
+                break
+
+    async def _close_connection(self, conn: _Connection) -> None:
+        self._connections.discard(conn)
+        if conn.writer_task is not None:
+            # Flush replies already queued (drain-on-shutdown must not race
+            # the final writes), then stop the writer.  New sends after this
+            # point count as dropped.
+            conn.out.put_nowait(None)
+            await conn.writer_task
+        conn.closed = True
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def _send(self, conn: _Connection, reply: Mapping[str, Any]) -> None:
+        if conn.closed:
+            self.replies_dropped += 1
+            return
+        conn.out.put_nowait(encode_frame(reply))
+
+    # ------------------------------------------------------------------ #
+    # Frame dispatch + admission control
+    # ------------------------------------------------------------------ #
+    async def _handle_frame(self, line: bytes, conn: _Connection) -> None:
+        try:
+            frame = decode_frame(line)
+        except FrameError as exc:
+            self.malformed_frames += 1
+            self._send(conn, error_reply(exc.code, str(exc)))
+            return
+        request_id = frame.get("id")
+        verb = frame.get("verb", "query")
+        if verb == "ping":
+            self._send(conn, {"ok": True, "verb": "ping", "id": request_id})
+            return
+        if verb == "stats":
+            # Observability must work *especially* under overload, so stats
+            # bypasses admission and the batch queue entirely.
+            self._send(conn, {"ok": True, "verb": "stats", "id": request_id,
+                              "stats": self.stats()})
+            return
+        if verb != "query":
+            self._send(conn, error_reply(
+                "unknown-verb", f"unknown verb {verb!r}; expected query/stats/ping",
+                request_id=request_id))
+            return
+        try:
+            request = parse_query_request(
+                frame, graphs=self.graphs, default_graph=self.default_graph,
+                default_tool=self.default_tool)
+        except FrameError as exc:
+            self.malformed_frames += 1
+            self._send(conn, error_reply(exc.code, str(exc), request_id=request_id))
+            return
+        # --- admission gate -------------------------------------------- #
+        if self._stopping:
+            self.rejected_shutdown += 1
+            self._send(conn, error_reply(
+                "shutting-down", "server is draining; retry elsewhere",
+                request_id=request_id))
+            return
+        if self._inflight >= self.max_inflight or self._queue.qsize() >= self.queue_depth:
+            self.rejected_overload += 1
+            self._send(conn, error_reply(
+                "overloaded",
+                f"admission rejected: {self._inflight} in flight "
+                f"(max {self.max_inflight}), {self._queue.qsize()} queued "
+                f"(depth {self.queue_depth})",
+                request_id=request_id))
+            return
+        pending = _Pending(request=request, request_id=request_id,
+                           created=frame.get("created"), received=monotonic(),
+                           future=asyncio.get_running_loop().create_future())
+        self._admit(pending)
+        asyncio.get_running_loop().create_task(self._forward_reply(pending, conn))
+
+    def _admit(self, pending: _Pending) -> None:
+        self._inflight += 1
+        self.queries_admitted += 1
+        assert self._drained is not None
+        self._drained.clear()
+        self._queue.put_nowait(pending)
+
+    def _retire(self, n: int = 1) -> None:
+        self._inflight -= n
+        if self._inflight == 0:
+            assert self._drained is not None
+            self._drained.set()
+
+    async def _forward_reply(self, pending: _Pending, conn: _Connection) -> None:
+        reply = await pending.future
+        self._send(conn, reply)
+
+    # ------------------------------------------------------------------ #
+    # The batching loop: admission queue -> EmbeddingService.query_batch
+    # ------------------------------------------------------------------ #
+    async def _batch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            await self._serve_batch(batch)
+
+    async def _serve_batch(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        now = monotonic()
+        for p in batch:
+            p.admitted = now
+        self.microbatches += 1
+        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        requests = [p.request for p in batch]
+        try:
+            responses: list[Any] = await loop.run_in_executor(
+                None, self.service.query_batch, requests)
+        except Exception:
+            # One poisoned request must not fail its batchmates: fall back
+            # to per-request isolation and report the failure individually.
+            self.batch_failures += 1
+            responses = []
+            for request in requests:
+                try:
+                    responses.append((await loop.run_in_executor(
+                        None, self.service.query_batch, [request]))[0])
+                except Exception as exc:
+                    responses.append(exc)
+        answered = monotonic()
+        for p, response in zip(batch, responses):
+            self._finish(p, response, answered)
+        self._retire(len(batch))
+
+    def _finish(self, p: _Pending, response: Any, answered: float) -> None:
+        queue_wait = p.admitted - p.received
+        service_s = answered - p.admitted
+        total = answered - p.received
+        self.queue_wait.observe(queue_wait)
+        self.service_time.observe(service_s)
+        self.total_time.observe(total)
+        timing = {"queue_wait_s": round(queue_wait, 6),
+                  "service_s": round(service_s, 6),
+                  "total_s": round(total, 6)}
+        if isinstance(response, Exception):
+            self.query_errors += 1
+            reply = error_reply("error", f"{type(response).__name__}: {response}",
+                                request_id=p.request_id)
+            reply["timing"] = timing
+        else:
+            self.queries_answered += 1
+            reply = {
+                "ok": True, "verb": "query", "id": p.request_id,
+                "ids": response.ids.tolist(),
+                "scores": response.scores.tolist(),
+                "store_hit": bool(response.store_hit),
+                "version": int(response.entry.version),
+                "timing": timing,
+            }
+        if p.created is not None:
+            reply["created"] = p.created
+        p.future.set_result(reply)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """One coherent snapshot: admission, latency, and service counters."""
+        return {
+            "server": {
+                "address": self.address,
+                "graphs": sorted(self.graphs),
+                "default_graph": self.default_graph,
+                "default_tool": self.default_tool,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "max_batch": self.max_batch,
+                "inflight": self._inflight,
+                "queued": self._queue.qsize(),
+                "connections_total": self.connections_total,
+                "connections_open": len(self._connections),
+                "frames_received": self.frames_received,
+                "queries_admitted": self.queries_admitted,
+                "queries_answered": self.queries_answered,
+                "query_errors": self.query_errors,
+                "rejected_overload": self.rejected_overload,
+                "rejected_shutdown": self.rejected_shutdown,
+                "malformed_frames": self.malformed_frames,
+                "batch_failures": self.batch_failures,
+                "replies_dropped": self.replies_dropped,
+                "microbatches": self.microbatches,
+                "max_batch_seen": self.max_batch_seen,
+            },
+            "latency": {
+                "queue_wait": self.queue_wait.summary(),
+                "service": self.service_time.summary(),
+                "total": self.total_time.summary(),
+            },
+            "service": self.service.stats(),
+        }
+
+
+class ServerThread:
+    """Run a :class:`QueryServer` on a daemon event-loop thread.
+
+    The blocking facade for synchronous callers::
+
+        with ServerThread(server) as address:
+            client = ServeClient(address)
+            ...
+
+    ``stop()`` performs the server's graceful drain before the loop exits.
+    """
+
+    def __init__(self, server: QueryServer, *, start_timeout_s: float = 30.0):
+        self.server = server
+        self.start_timeout_s = start_timeout_s
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self.address: "str | None" = None
+
+    def start(self) -> str:
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            ready.set()
+            self._loop.run_forever()
+            # Drain loop-internal cleanup after run_forever is stopped.
+            self._loop.close()
+
+        self._thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+        self._thread.start()
+        ready.wait(self.start_timeout_s)
+        future = asyncio.run_coroutine_threadsafe(self.server.start(), self._loop)
+        self.address = future.result(self.start_timeout_s)
+        return self.address
+
+    def stop(self, *, timeout_s: float = 30.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop).result(timeout_s)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout_s)
+        self._loop, self._thread = None, None
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

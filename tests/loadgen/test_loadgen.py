@@ -1,0 +1,123 @@
+"""Tests for the load-generation harness (closed/open loop, rejection math)."""
+
+from __future__ import annotations
+
+import json
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingService
+from repro.graph import powerlaw_cluster
+from repro.loadgen import LoadConfig, LoadGenerator
+from repro.serve import QueryServer, ServerThread
+
+pytestmark = pytest.mark.timeout(120)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    graph = powerlaw_cluster(300, m=3, p_triangle=0.5, seed=7)
+    service = EmbeddingService(dim=8, epoch_scale=0.02,
+                               store=tmp_path_factory.mktemp("store"))
+    service.ensure_stored("gosh-fast", graph)
+    server = QueryServer(service, {"g": graph}, default_tool="gosh-fast")
+    handle = ServerThread(server)
+    address = handle.start()
+    yield address, server
+    handle.stop()
+
+
+class TestClosedLoop:
+    def test_fixed_request_count_is_deterministic(self, served):
+        address, _ = served
+        report = LoadGenerator(LoadConfig(
+            address=address, clients=2, mode="closed", duration_s=60.0,
+            requests_per_client=5, num_vertices=300, seed=1)).run()
+        assert report.sent == 10
+        assert report.answered == 10
+        assert report.rejected == 0 and report.errors == 0
+        assert report.timeouts == 0 and report.disconnects == 0
+
+    def test_report_statistics_are_coherent(self, served):
+        address, _ = served
+        report = LoadGenerator(LoadConfig(
+            address=address, clients=3, mode="closed", duration_s=0.5,
+            num_vertices=300)).run()
+        assert report.answered > 0
+        assert report.queries_per_s > 0
+        lat = report.latency_ms
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        assert report.rejection_rate == 0.0
+        assert 0.0 <= report.queue_wait_share <= 1.0
+        # Server-side breakdown was captured for every answered request.
+        assert report.queue_wait_ms["count"] == report.answered
+        # The report is a JSON artifact (record_perf_json feeds on it).
+        payload = json.loads(json.dumps(report.as_json()))
+        assert payload["answered"] == report.answered
+        assert set(payload["latency_ms"]) == {"count", "mean", "p50", "p95",
+                                              "p99", "max"}
+
+
+class TestOpenLoop:
+    def test_open_loop_offers_rate_limited_load(self, served):
+        address, _ = served
+        report = LoadGenerator(LoadConfig(
+            address=address, clients=2, mode="open", duration_s=0.5,
+            rate_per_client=40.0, num_vertices=300)).run()
+        # 2 clients x 40/s x 0.5s = 40 offered; allow scheduling slack.
+        assert 20 <= report.sent <= 44
+        assert report.answered == report.sent     # healthy server keeps up
+        assert report.timeouts == 0
+
+
+class TestOverloadAccounting:
+    def test_rejections_and_timeouts_are_counted(self):
+        """Against a saturated server (blocked service, inflight cap 1) the
+        closed-loop harness must report rejections, not hang or crash."""
+        release = threading.Event()
+
+        class Blocked:
+            def query_batch(self, requests):
+                assert release.wait(timeout=30)
+                return [SimpleNamespace(
+                    ids=np.zeros((r.num_queries, r.k), dtype=np.int64),
+                    scores=np.zeros((r.num_queries, r.k), dtype=np.float32),
+                    store_hit=True, entry=SimpleNamespace(version=1))
+                    for r in requests]
+
+            def stats(self):
+                return {}
+
+        server = QueryServer(Blocked(), {"g": object()}, default_tool="stub",
+                             max_inflight=1, queue_depth=1)
+        handle = ServerThread(server)
+        address = handle.start()
+        try:
+            report = LoadGenerator(LoadConfig(
+                address=address, clients=3, mode="closed", duration_s=0.3,
+                timeout_s=1.0, num_vertices=10)).run()
+        finally:
+            release.set()
+            handle.stop()
+        # One client's request is stuck in service (-> timeout), the others
+        # are refused at admission.
+        assert report.rejected > 0
+        assert report.rejection_rate > 0
+        assert report.timeouts >= 1
+        assert report.answered == 0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"mode": "sideways"},
+        {"clients": 0},
+        {"duration_s": 0},
+        {"mode": "open", "rate_per_client": 0},
+        {"num_vertices": 0},
+    ])
+    def test_bad_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadConfig(address="127.0.0.1:1", **kwargs)

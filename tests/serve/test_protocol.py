@@ -1,0 +1,98 @@
+"""Tests for the NDJSON wire protocol (frame codec + query-frame parsing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    parse_query_request,
+)
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        frame = {"id": 7, "verb": "query", "vertices": [0, 3], "k": 5}
+        assert decode_frame(encode_frame(frame).rstrip(b"\n")) == frame
+
+    def test_encode_is_one_line(self):
+        assert encode_frame({"a": "multi\nline"}).count(b"\n") == 1
+
+    @pytest.mark.parametrize("line", [b"not json", b"[1, 2, 3]", b'"string"',
+                                      b"\xff\xfe", b"42"])
+    def test_non_object_frames_rejected(self, line):
+        with pytest.raises(FrameError, match="frame") as info:
+            decode_frame(line)
+        assert info.value.code == "bad-frame"
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(FrameError) as info:
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+        assert info.value.code == "bad-frame"
+
+    def test_error_reply_shape(self):
+        reply = error_reply("overloaded", "try later", request_id=3)
+        assert reply == {"ok": False, "code": "overloaded",
+                         "error": "try later", "id": 3}
+        assert "id" not in error_reply("bad-frame", "no id known")
+        # id 0 is a legitimate id, not a missing one.
+        assert error_reply("bad-frame", "x", request_id=0)["id"] == 0
+
+
+class TestParseQueryRequest:
+    GRAPHS = {"g": object(), "other": object()}
+
+    def parse(self, frame, **kwargs):
+        kwargs.setdefault("graphs", self.GRAPHS)
+        kwargs.setdefault("default_graph", "g")
+        kwargs.setdefault("default_tool", "gosh-fast")
+        return parse_query_request(frame, **kwargs)
+
+    def test_defaults_applied(self):
+        request = self.parse({"vertices": [1, 2]})
+        assert request.tool == "gosh-fast"
+        assert request.graph is self.GRAPHS["g"]
+        assert request.k == 10 and request.exclude_self is True
+        assert request.vertices.dtype == np.int64
+
+    def test_explicit_fields_override(self):
+        request = self.parse({"vertices": 3, "tool": "verse", "graph": "other",
+                              "k": 2, "metric": "dot", "exclude_self": False})
+        assert (request.tool, request.k, request.metric) == ("verse", 2, "dot")
+        assert request.graph is self.GRAPHS["other"]
+        assert request.vertices.tolist() == [3]
+
+    def test_vectors_become_float32_matrix(self):
+        request = self.parse({"vectors": [0.5, 1.5]})
+        assert request.vectors.shape == (1, 2)
+        assert request.vectors.dtype == np.float32
+
+    @pytest.mark.parametrize("frame", [
+        {},                                          # neither vertices nor vectors
+        {"vertices": [0], "vectors": [[1.0]]},       # both
+        {"vertices": []},                            # empty
+        {"vertices": "zero"},                        # non-integral
+        {"vectors": [[float("nan")]]},               # non-finite
+        {"vertices": [0], "k": 0},                   # bad k
+        {"vertices": [0], "k": True},                # bool is not a count
+        {"vertices": [0], "k": "many"},
+        {"vertices": [0], "graph": "missing"},       # unknown graph
+        {"vertices": [0], "exclude_self": "yes"},
+    ])
+    def test_bad_requests_raise_bad_request(self, frame):
+        with pytest.raises(FrameError) as info:
+            self.parse(frame)
+        assert info.value.code == "bad-request"
+
+    def test_no_default_tool_requires_tool(self):
+        with pytest.raises(FrameError, match="tool"):
+            self.parse({"vertices": [0]}, default_tool=None)
+
+    def test_no_default_graph_requires_graph(self):
+        with pytest.raises(FrameError, match="graph"):
+            self.parse({"vertices": [0]}, default_graph=None)

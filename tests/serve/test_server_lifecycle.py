@@ -1,0 +1,226 @@
+"""Server lifecycle edge cases: overload, drain, disconnects, bad frames.
+
+These tests replace the real :class:`EmbeddingService` with a stub whose
+``query_batch`` blocks on an event, so saturation is *deterministic*: the
+test controls exactly when the (single) batching loop is busy, then
+releases it.  The admission gate's contract under test:
+
+* with ``max_inflight`` admitted-but-unanswered requests, the next query is
+  rejected with ``code == "overloaded"`` — no unbounded buffering;
+* with the admission queue at ``queue_depth``, same;
+* ``stop()`` stops admitting (``shutting-down``) but answers every admitted
+  request before returning — shutdown drains, never drops;
+* malformed frames and mid-request disconnects hurt only their own
+  connection, never the server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serve import QueryServer, ServeClient, ServerThread, encode_frame
+
+pytestmark = pytest.mark.timeout(60)
+
+TIMEOUT = 10.0
+
+
+class BlockingStubService:
+    """query_batch blocks until released; stats is a cheap snapshot."""
+
+    def __init__(self):
+        self.started = threading.Event()   # set when a batch enters service
+        self.release = threading.Event()   # test opens the gate
+        self.batch_sizes: list[int] = []
+
+    def query_batch(self, requests):
+        self.batch_sizes.append(len(requests))
+        self.started.set()
+        assert self.release.wait(timeout=TIMEOUT), "test never released the stub"
+        return [self._answer(r) for r in requests]
+
+    @staticmethod
+    def _answer(request):
+        k, n = request.k, request.num_queries
+        return SimpleNamespace(ids=np.zeros((n, k), dtype=np.int64),
+                               scores=np.zeros((n, k), dtype=np.float32),
+                               store_hit=True,
+                               entry=SimpleNamespace(version=1))
+
+    def stats(self):
+        return {"stub_batches": len(self.batch_sizes)}
+
+
+@pytest.fixture
+def stub():
+    return BlockingStubService()
+
+
+def make_server(stub, **kwargs):
+    kwargs.setdefault("max_inflight", 64)
+    kwargs.setdefault("queue_depth", 128)
+    return QueryServer(stub, {"g": object()}, default_tool="stub", **kwargs)
+
+
+def send(client: ServeClient, frame: dict) -> None:
+    """Fire-and-forget a frame (the blocking client would await the reply)."""
+    client._sock.sendall(encode_frame(frame))
+
+
+def read(client: ServeClient) -> dict:
+    line = client._file.readline()
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+
+class TestAdmissionControl:
+    def test_inflight_saturation_is_rejected_deterministically(self, stub):
+        server = make_server(stub, max_inflight=2, queue_depth=8)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            send(c, {"id": "r1", "verb": "query", "vertices": [0]})
+            assert stub.started.wait(TIMEOUT)      # r1 is *in* service
+            send(c, {"id": "r2", "verb": "query", "vertices": [1]})  # queued
+            send(c, {"id": "r3", "verb": "query", "vertices": [2]})  # over cap
+            reply = read(c)                        # rejection arrives first
+            assert reply == {"ok": False, "code": "overloaded",
+                             "error": reply["error"], "id": "r3"}
+            assert "2 in flight" in reply["error"]
+            stub.release.set()
+            answered = {read(c)["id"], read(c)["id"]}
+            assert answered == {"r1", "r2"}
+        assert server.rejected_overload == 1
+        assert server.queries_answered == 2
+
+    def test_queue_depth_saturation_is_rejected(self, stub):
+        server = make_server(stub, max_inflight=8, queue_depth=1)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            send(c, {"id": "r1", "verb": "query", "vertices": [0]})
+            assert stub.started.wait(TIMEOUT)      # queue drained into service
+            send(c, {"id": "r2", "verb": "query", "vertices": [1]})  # fills depth-1 queue
+            send(c, {"id": "r3", "verb": "query", "vertices": [2]})
+            assert read(c)["code"] == "overloaded"
+            stub.release.set()
+            assert {read(c)["id"], read(c)["id"]} == {"r1", "r2"}
+        assert server.rejected_overload == 1
+
+    def test_stats_verb_answers_while_saturated(self, stub):
+        server = make_server(stub, max_inflight=1)
+        with ServerThread(server) as addr:
+            with ServeClient(addr, timeout_s=TIMEOUT) as busy:
+                send(busy, {"id": "r1", "verb": "query", "vertices": [0]})
+                assert stub.started.wait(TIMEOUT)
+                with ServeClient(addr, timeout_s=TIMEOUT) as observer:
+                    stats = observer.stats()       # must not queue behind r1
+                    assert stats["server"]["inflight"] == 1
+                    assert stats["service"] == {"stub_batches": 1}
+                stub.release.set()
+                assert read(busy)["ok"] is True
+
+    def test_rejection_counters_in_stats(self, stub):
+        server = make_server(stub, max_inflight=1)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            send(c, {"id": "r1", "verb": "query", "vertices": [0]})
+            assert stub.started.wait(TIMEOUT)
+            for i in range(3):
+                send(c, {"id": f"x{i}", "verb": "query", "vertices": [0]})
+            rejected = [read(c) for _ in range(3)]
+            assert all(r["code"] == "overloaded" for r in rejected)
+            with ServeClient(addr, timeout_s=TIMEOUT) as observer:
+                assert observer.stats()["server"]["rejected_overload"] == 3
+            stub.release.set()
+            assert read(c)["id"] == "r1"
+
+
+class TestRobustness:
+    def test_malformed_frame_gets_error_reply_not_server_death(self, stub):
+        stub.release.set()
+        server = make_server(stub)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            c._sock.sendall(b"this is not json\n")
+            assert read(c)["code"] == "bad-frame"
+            c._sock.sendall(b'{"unterminated": \n')
+            assert read(c)["code"] == "bad-frame"
+            # The same connection still serves real work afterwards.
+            assert c.query(vertices=[0], request_id="ok")["ok"] is True
+        assert server.malformed_frames == 2
+        assert server.queries_answered == 1
+
+    def test_bad_request_fields_get_bad_request_reply(self, stub):
+        stub.release.set()
+        server = make_server(stub)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            assert c.request({"verb": "query"})["code"] == "bad-request"
+            assert c.request({"verb": "teleport"})["code"] == "unknown-verb"
+            assert c.ping() is True
+
+    def test_client_disconnect_mid_request_drops_only_that_reply(self, stub):
+        server = make_server(stub)
+        with ServerThread(server) as addr:
+            doomed = ServeClient(addr, timeout_s=TIMEOUT)
+            send(doomed, {"id": "r1", "verb": "query", "vertices": [0]})
+            assert stub.started.wait(TIMEOUT)
+            doomed.close()
+            with ServeClient(addr, timeout_s=TIMEOUT) as witness:
+                # Wait until the server has noticed the disconnect ...
+                deadline = 100
+                while witness.stats()["server"]["connections_open"] > 1:
+                    deadline -= 1
+                    assert deadline, "server never noticed the disconnect"
+                stub.release.set()
+                # ... then the batch completes, the reply is dropped, and the
+                # server keeps serving everyone else.
+                deadline = 1000
+                while witness.stats()["server"]["replies_dropped"] == 0:
+                    deadline -= 1
+                    assert deadline, "dropped reply was never counted"
+                assert witness.query(vertices=[1])["ok"] is True
+                stats = witness.stats()["server"]
+        assert stats["replies_dropped"] == 1
+        assert server.queries_answered == 2   # r1 completed despite the drop
+
+
+class TestShutdownDrain:
+    def test_stop_drains_inflight_before_returning(self, stub):
+        server = make_server(stub)
+        handle = ServerThread(server)
+        addr = handle.start()
+        c = ServeClient(addr, timeout_s=TIMEOUT)
+        try:
+            send(c, {"id": "r1", "verb": "query", "vertices": [0]})
+            assert stub.started.wait(TIMEOUT)
+            send(c, {"id": "r2", "verb": "query", "vertices": [1]})   # queued
+            deadline = time.monotonic() + TIMEOUT
+            while server.queries_admitted < 2:    # r2 must be admitted pre-stop
+                assert time.monotonic() < deadline
+                time.sleep(0.002)
+
+            stopper = threading.Thread(target=handle.stop)
+            stopper.start()
+            stopper.join(timeout=0.3)
+            assert stopper.is_alive(), "stop() returned without draining"
+
+            # Draining admits nothing new but still answers the admitted.
+            send(c, {"id": "late", "verb": "query", "vertices": [2]})
+            assert read(c)["code"] == "shutting-down"
+            stub.release.set()
+            assert {read(c)["id"], read(c)["id"]} == {"r1", "r2"}
+            stopper.join(timeout=TIMEOUT)
+            assert not stopper.is_alive()
+        finally:
+            c.close()
+        assert server.queries_answered == 2
+        assert server.rejected_shutdown == 1
+        assert server._inflight == 0
+
+    def test_stop_with_idle_server_is_immediate(self, stub):
+        server = make_server(stub)
+        handle = ServerThread(server)
+        handle.start()
+        handle.stop(timeout_s=TIMEOUT)
+        assert server.queries_answered == 0

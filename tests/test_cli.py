@@ -158,6 +158,22 @@ class TestStoreAndQueryCli:
         assert "top-2 by dot (exact backend)" in out
         assert "q0" in out and "q1" in out
 
+    def test_query_file_entries_share_one_warm_service(self, tmp_path, capsys):
+        """Each --query-file entry is its own request through ONE service:
+        the first builds the engine, the rest hit the engine cache — the
+        warm path the resident server relies on — and all of them land in
+        a single microbatched backend call."""
+        vectors = np.random.default_rng(1).standard_normal((3, 8)).astype(np.float32)
+        qfile = tmp_path / "queries.npy"
+        np.save(qfile, vectors)
+        code = main(["query", "com-amazon", "--config", "fast", "--dim", "8",
+                     "--epoch-scale", "0.02", "--query-file", str(qfile),
+                     "--top-k", "2", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query: 3 queries in 1 microbatch(es)" in out
+        assert "engine cache: 1 engine(s), 2 hits, 1 misses, 0 evictions" in out
+
     def test_query_defaults_connect_to_embed_save(self, tmp_path, capsys):
         """`embed --save` then `query` with no dim flags must serve from the
         store (query's default dim adapts to whatever is stored) instead of
@@ -211,6 +227,68 @@ class TestStoreAndQueryCli:
         out = capsys.readouterr().out
         assert "query backends: exact, blocked" in out
         assert "store at" in out and "1 entries" in out
+
+
+class TestServeAndLoadCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "com-amazon"])
+        assert args.host == "127.0.0.1" and args.port == 7654
+        assert args.max_inflight == 64 and args.queue_depth == 128
+        assert args.max_batch == 32
+        assert args.socket is None and args.max_seconds is None
+        assert args.no_warm is False
+
+    def test_load_parser_defaults(self):
+        args = build_parser().parse_args(["load", "127.0.0.1:7654"])
+        assert args.clients == 4 and args.mode == "closed"
+        assert args.duration == 2.0 and args.rate == 50.0
+        assert args.json is None
+
+    def test_load_bad_mode_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "x:1", "--mode", "sideways"])
+
+    def test_load_unreachable_server_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot drive"):
+            main(["load", f"unix:{tmp_path}/nope.sock", "--duration", "0.1"])
+
+    @pytest.mark.timeout(120)
+    def test_serve_then_load_round_trip(self, tmp_path, capsys):
+        """`repro-gosh serve` warms the store and serves until --max-seconds;
+        `repro-gosh load` measures it and writes the JSON report."""
+        import json
+        import threading
+        import time
+
+        sock = tmp_path / "serve.sock"
+        report_path = tmp_path / "report.json"
+        serve_rc: list[int] = []
+
+        def run_server() -> None:
+            serve_rc.append(main([
+                "serve", "com-amazon", "--config", "fast", "--dim", "8",
+                "--epoch-scale", "0.02", "--socket", str(sock),
+                "--store-dir", str(tmp_path / "store"), "--max-seconds", "6"]))
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 60
+        while not sock.exists():
+            assert time.monotonic() < deadline, "server socket never appeared"
+            time.sleep(0.05)
+        code = main(["load", f"unix:{sock}", "--clients", "2",
+                     "--duration", "0.4", "--num-vertices", "100",
+                     "--top-k", "3", "--json", str(report_path)])
+        assert code == 0
+        thread.join(timeout=60)
+        assert serve_rc == [0]
+        out = capsys.readouterr().out
+        assert "embedded and stored" in out or "served from store" in out
+        assert "throughput:" in out and "queries/s" in out
+        report = json.loads(report_path.read_text())
+        assert report["answered"] > 0
+        assert report["rejection_rate"] == 0.0
+        assert {"p50", "p95", "p99"} <= set(report["latency_ms"])
 
 
 class TestToolRegistryCli:
