@@ -1,0 +1,112 @@
+"""Perf smoke test: the shard router under traffic-scale load.
+
+Boots a :class:`~repro.serve.ShardRouter` over **two shard counts** — each
+shard an in-process :class:`QueryServer` with its own
+:class:`EmbeddingService` over the same warmed store (independent serving
+locks, shared page cache) — and drives the *router's* front door
+closed-loop, so every measured query pays the full fan-out-and-merge path:
+route, ranged shard scans, bit-exact top-k merge, reply.
+
+The recorded artifact (``bench_results/serve_shard_load.json``) carries
+one row per shard count — p50/p95/p99 latency, queries/s, rejection rate,
+plus the router's fan-out counters — extending the serving tier's SLO
+trajectory (``serve_load.json``) to the scaled-out deployment.  The floor
+asserts the same SLO as the single-server benchmark at every shard count:
+sharding must not break the serving SLO even though each query now crosses
+two extra socket hops.  Floors sit far under local measurements so a noisy
+shared runner does not flake the non-blocking job.
+
+Marked ``perf`` so the tier-1 job skips it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EmbeddingService
+from repro.graph import powerlaw_cluster
+from repro.loadgen import LoadConfig, LoadGenerator
+from repro.serve import ShardRouter
+
+from conftest import record_perf_json
+
+pytestmark = pytest.mark.perf
+
+SHARD_COUNTS = (2, 4)
+CLIENTS = 8
+DURATION_S = 1.5
+TOP_K = 10
+DIM = 16
+NUM_VERTICES = 2_000
+
+#: SLO floor at every shard count — the single-server serving SLO, which
+#: scale-out must preserve.  Local closed-loop runs through the router
+#: sustain hundreds-to-thousands of queries/s with p99 in the tens of ms.
+MIN_QUERIES_PER_S = 100.0
+MAX_P99_MS = 500.0
+
+
+class TestShardedServeUnderLoad:
+    def test_router_sustains_closed_loop_slo_at_every_shard_count(self, tmp_path):
+        graph = powerlaw_cluster(NUM_VERTICES, m=3, seed=0)
+        store = tmp_path / "store"
+
+        def shard_service() -> EmbeddingService:
+            return EmbeddingService(dim=DIM, epoch_scale=0.05, store=store)
+
+        shard_service().ensure_stored("gosh-fast", graph)      # warm once
+        runs = []
+        for shards in SHARD_COUNTS:
+            router = ShardRouter.spawn(shard_service, {"bench": graph},
+                                       shard_count=shards,
+                                       default_tool="gosh-fast")
+            with router as address:
+                report = LoadGenerator(LoadConfig(
+                    address=address, clients=CLIENTS, mode="closed",
+                    duration_s=DURATION_S, k=TOP_K,
+                    num_vertices=NUM_VERTICES, seed=shards)).run()
+                backend = router.backend
+                runs.append({
+                    "shards": shards,
+                    "report": report,
+                    "router": {"fanouts": backend.fanouts,
+                               "shard_queries": backend.shard_queries,
+                               "shard_errors": backend.shard_errors},
+                })
+            lat = report.latency_ms
+            print(f"\n[perf] route {shards} shard(s), {CLIENTS} closed-loop "
+                  f"clients over |V|={NUM_VERTICES}, dim={DIM}, k={TOP_K}: "
+                  f"{report.queries_per_s:,.0f} queries/s, "
+                  f"p50={lat['p50']:.2f}ms p95={lat['p95']:.2f}ms "
+                  f"p99={lat['p99']:.2f}ms, rejections={report.rejected}")
+
+        record_perf_json("serve_shard_load", {
+            "graph": {"vertices": graph.num_vertices,
+                      "edges": graph.num_undirected_edges, "dim": DIM},
+            "mode": "closed", "clients": CLIENTS, "duration_s": DURATION_S,
+            "top_k": TOP_K, "shard_counts": list(SHARD_COUNTS),
+            "runs": [{"shards": run["shards"], "router": run["router"],
+                      **run["report"].as_json()} for run in runs],
+            "floor": {"min_queries_per_s": MIN_QUERIES_PER_S,
+                      "max_p99_ms": MAX_P99_MS,
+                      "at_every_shard_count": True},
+        })
+
+        for run in runs:
+            report, shards = run["report"], run["shards"]
+            # Health invariants: no shard trouble leaked into the run.
+            assert report.errors == 0, (shards, report.errors)
+            assert report.timeouts == 0 and report.disconnects == 0
+            assert report.answered > 0
+            assert run["router"]["shard_errors"] == 0
+            # Every answered query genuinely fanned out to the shards.
+            assert run["router"]["shard_queries"] >= shards
+
+            # The serving SLO must survive scale-out at every shard count.
+            assert report.queries_per_s >= MIN_QUERIES_PER_S, (
+                f"router over {shards} shards sustained only "
+                f"{report.queries_per_s:,.1f} queries/s (floor: "
+                f"{MIN_QUERIES_PER_S})")
+            assert report.latency_ms["p99"] <= MAX_P99_MS, (
+                f"p99 latency {report.latency_ms['p99']:.1f}ms exceeds the "
+                f"{MAX_P99_MS}ms bound over {shards} shards")

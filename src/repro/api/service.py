@@ -98,6 +98,9 @@ class QueryRequest:
     Exactly one of ``vertices`` (ids into the stored matrix; ``exclude_self``
     applies) or ``vectors`` (raw ``(d,)``/``(Q, d)`` query vectors) must be
     set.  ``metric``/``backend`` of ``None`` inherit the service defaults.
+    ``vertex_range`` restricts candidate rows to ``[lo, hi)`` — the sharded
+    serving tier's routing primitive; score bits for surviving rows match an
+    unranged run exactly.
     """
 
     tool: str | EmbeddingTool
@@ -109,10 +112,17 @@ class QueryRequest:
     backend: str | None = None
     exclude_self: bool = True
     config_hash: str | None = None    # pin a specific store lineage
+    vertex_range: "tuple[int, int] | None" = None
 
     def __post_init__(self) -> None:
         if (self.vertices is None) == (self.vectors is None):
             raise ValueError("set exactly one of vertices= or vectors=")
+        if self.vertex_range is not None:
+            lo, hi = int(self.vertex_range[0]), int(self.vertex_range[1])
+            if not 0 <= lo < hi:
+                raise ValueError(
+                    f"vertex_range [{lo}, {hi}) must satisfy 0 <= lo < hi")
+            self.vertex_range = (lo, hi)
 
     @property
     def num_queries(self) -> int:
@@ -435,7 +445,8 @@ class EmbeddingService:
               k: int = 10, metric: str | None = None,
               backend: str | None = None,
               exclude_self: bool = True,
-              config_hash: str | None = None) -> QueryResponse:
+              config_hash: str | None = None,
+              vertex_range: "tuple[int, int] | None" = None) -> QueryResponse:
         """Answer a k-NN request against the tool's embedding of ``graph``.
 
         Embed-if-missing: when the store has no entry for the (graph, tool)
@@ -445,7 +456,7 @@ class EmbeddingService:
         responses = self.query_batch([QueryRequest(
             tool=name, graph=graph, vertices=vertices, vectors=vectors, k=k,
             metric=metric, backend=backend, exclude_self=exclude_self,
-            config_hash=config_hash)])
+            config_hash=config_hash, vertex_range=vertex_range)])
         return responses[0]
 
     def query_batch(self, requests: Iterable[QueryRequest]) -> list[QueryResponse]:
@@ -480,20 +491,22 @@ class EmbeddingService:
             prepared.append((entry, store_hit, engine))
             by_vertex = request.vertices is not None
             group_key = (id(engine), request.k, by_vertex,
-                         request.exclude_self if by_vertex else None)
+                         request.exclude_self if by_vertex else None,
+                         request.vertex_range)
             groups.setdefault(group_key, []).append(i)
-        for (engine_id, k, by_vertex, exclude_self), members in groups.items():
+        for (engine_id, k, by_vertex, exclude_self, vertex_range), members in groups.items():
             engine = prepared[members[0]][2]
             if by_vertex:
                 stacked = np.concatenate([
                     np.atleast_1d(np.asarray(requests[i].vertices, dtype=np.int64))
                     for i in members])
-                merged = engine.nearest(stacked, k, exclude_self=bool(exclude_self))
+                merged = engine.nearest(stacked, k, exclude_self=bool(exclude_self),
+                                        vertex_range=vertex_range)
             else:
                 stacked = np.concatenate([
                     np.atleast_2d(np.asarray(requests[i].vectors, dtype=np.float32))
                     for i in members])
-                merged = engine.query(stacked, k)
+                merged = engine.query(stacked, k, vertex_range=vertex_range)
             self.microbatches += 1
             offset = 0
             for i in members:

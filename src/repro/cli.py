@@ -1,6 +1,6 @@
 """Command-line interface for the GOSH reproduction.
 
-Nine subcommands cover the day-to-day workflow of the original tool plus
+Ten subcommands cover the day-to-day workflow of the original tool plus
 the serving side:
 
 * ``repro-gosh embed``    — embed an edge-list file (or a named synthetic
@@ -17,10 +17,16 @@ the serving side:
   :mod:`repro.query` surface via ``EmbeddingService.query``).
 * ``repro-gosh serve``    — run the resident NDJSON query server over a
   graph (admission control, request timestamping, microbatched serving;
-  the :mod:`repro.serve` surface).
-* ``repro-gosh load``     — drive a running server with N concurrent
-  closed- or open-loop clients and report p50/p95/p99 latency, queries/s,
-  and rejection rate (the :mod:`repro.loadgen` surface).
+  the :mod:`repro.serve` surface); ``--http-port`` adds the stdlib
+  HTTP/1.1 front (``POST /query`` / ``GET /stats`` / ``GET /ping``).
+* ``repro-gosh route``    — run a shard router over N spawned in-process
+  shard servers (``--shards``) or externally started ones
+  (``--backend-address``), merging per-shard top-k bit-exactly
+  (the :mod:`repro.serve.router` surface).
+* ``repro-gosh load``     — drive one or more running servers with N
+  concurrent closed- or open-loop clients and report merged p50/p95/p99
+  latency, queries/s, and rejection rate with a per-address breakdown
+  (the :mod:`repro.loadgen` surface).
 * ``repro-gosh tools``    — list the registered embedding tools.
 * ``repro-gosh datasets`` — list the registered synthetic twins (Table 2).
 
@@ -311,11 +317,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth, max_batch=args.max_batch)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
-    handle = ServerThread(server)
+    handle = ServerThread(server, http_port=args.http_port,
+                          http_host=args.host)
     address = handle.start()
     print(f"serving graph {args.graph!r} with tool {name!r} on {address} "
           f"(max_inflight={args.max_inflight}, queue_depth={args.queue_depth}, "
           f"max_batch={args.max_batch}); Ctrl-C drains and exits")
+    if handle.http_address is not None:
+        print(f"HTTP front on http://{handle.http_address} "
+              f"(POST /query, GET /stats, GET /ping)")
     try:
         if args.max_seconds is not None:
             time.sleep(args.max_seconds)
@@ -329,6 +339,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"microbatch(es); {server.rejected_overload} overload rejection(s), "
           f"{server.query_errors} error(s)")
     _print_serving_stats(service)
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve import ShardRouter
+
+    if bool(args.shards) == bool(args.backend_address):
+        raise SystemExit("pass exactly one of --shards N or --backend-address "
+                         "(repeatable)")
+    name = args.tool if args.tool else f"gosh-{args.config.strip().lower()}"
+    graph = _load_graph(args.graph, seed=args.seed)
+    graphs = {args.graph: graph}
+    router_kwargs = dict(
+        default_graph=args.graph, default_tool=name, host=args.host,
+        port=args.port, max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth, max_batch=args.max_batch,
+        shard_timeout_s=args.shard_timeout, http_port=args.http_port,
+        http_host=args.host)
+    try:
+        if args.shards:
+            # Every spawned shard gets its own EmbeddingService over the
+            # same store directory: independent serving locks, so shard
+            # fan-outs genuinely run in parallel; a shared page cache, so
+            # the memory-mapped matrix is still loaded once.
+            def shard_service() -> EmbeddingService:
+                return EmbeddingService(
+                    dim=args.dim, epoch_scale=args.epoch_scale, seed=args.seed,
+                    store=args.store_dir, metric=args.metric,
+                    query_backend=args.query_backend,
+                    query_block_rows=args.block_rows)
+
+            # Warm once before spawning: the first service embeds-if-missing
+            # and stores; every shard then serves the same version.
+            entry, hit = shard_service().ensure_stored(name, graph)
+            print(f"warm: {'served from store' if hit else 'embedded and stored'} "
+                  f"v{entry.version:04d} (config {entry.config_hash})")
+            router = ShardRouter.spawn(shard_service, graphs,
+                                       shard_count=args.shards, **router_kwargs)
+            print(f"spawned {args.shards} shard server(s): "
+                  + ", ".join(router.backend.addresses))
+        else:
+            router = ShardRouter(graphs, args.backend_address, **router_kwargs)
+            print(f"routing over {len(args.backend_address)} external shard(s): "
+                  + ", ".join(args.backend_address))
+    except (ValueError, UnknownToolError, StoreError, ConnectionError,
+            OSError) as exc:
+        raise SystemExit(str(exc)) from exc
+    address = router.start()
+    ranges = ", ".join(f"[{lo},{hi})" for lo, hi
+                       in router.backend._ranges[args.graph])
+    print(f"router for graph {args.graph!r} on {address} "
+          f"(vertex ranges: {ranges}); Ctrl-C drains and exits")
+    if router.http_address is not None:
+        print(f"HTTP front on http://{router.http_address} "
+              f"(POST /query, GET /stats, GET /ping)")
+    try:
+        if args.max_seconds is not None:
+            time.sleep(args.max_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ndraining in-flight requests ...")
+    router.stop()
+    server = router.server
+    print(f"routed {server.queries_answered} queries in {server.microbatches} "
+          f"microbatch(es); {router.backend.shard_queries} shard queries, "
+          f"{router.backend.shard_errors} shard error(s), "
+          f"{server.rejected_overload} overload rejection(s)")
     return 0
 
 
@@ -349,7 +430,7 @@ def cmd_load(args: argparse.Namespace) -> int:
     try:
         report = LoadGenerator(config).run()
     except (ConnectionError, OSError) as exc:
-        raise SystemExit(f"cannot drive {args.address}: {exc}") from exc
+        raise SystemExit(f"cannot drive {', '.join(config.address)}: {exc}") from exc
     for line in report.summary_lines():
         print(line)
     if args.json is not None:
@@ -539,14 +620,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-seconds", type=float, default=None,
                          help="serve for N seconds then drain and exit "
                               "(default: until Ctrl-C)")
+    p_serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                         help="also serve HTTP/1.1 on this port (0 picks a "
+                              "free one): POST /query, GET /stats, GET /ping")
     add_store_option(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
+    p_route = sub.add_parser(
+        "route", help="run a shard router: partition a graph's vertex ranges "
+                      "across N query servers and merge their top-k bit-exactly")
+    add_common(p_route)
+    p_route.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="spawn N in-process shard servers (each with its "
+                              "own service over the shared store)")
+    p_route.add_argument("--backend-address", action="append", default=None,
+                         metavar="ADDR",
+                         help="route over an externally started shard server "
+                              "(repeatable; shard order = flag order = vertex "
+                              "range order)")
+    p_route.add_argument("--tool", default=None,
+                         help="registered tool name served by default; "
+                              "overrides --config")
+    p_route.add_argument("--config", default="normal",
+                         help="GOSH configuration shorthand for --tool gosh-<config>")
+    p_route.add_argument("--dim", type=int, default=None,
+                         help="embedding dimension for spawned shards; default: "
+                              "serve any stored dimension")
+    p_route.add_argument("--epoch-scale", type=float, default=1.0)
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument("--port", type=int, default=7653,
+                         help="router TCP port (0 picks a free port)")
+    p_route.add_argument("--max-inflight", type=int, default=64)
+    p_route.add_argument("--queue-depth", type=int, default=128)
+    p_route.add_argument("--max-batch", type=int, default=32)
+    p_route.add_argument("--metric", choices=METRICS, default="cosine")
+    p_route.add_argument("--query-backend", default=None, metavar="NAME")
+    p_route.add_argument("--block-rows", type=int, default=4096)
+    p_route.add_argument("--shard-timeout", type=float, default=30.0,
+                         help="per-shard exchange timeout in seconds")
+    p_route.add_argument("--max-seconds", type=float, default=None,
+                         help="route for N seconds then drain and exit "
+                              "(default: until Ctrl-C)")
+    p_route.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                         help="also serve HTTP/1.1 on this port (0 picks a "
+                              "free one)")
+    add_store_option(p_route)
+    p_route.set_defaults(func=cmd_route)
+
     p_load = sub.add_parser(
-        "load", help="drive a running query server with concurrent clients "
-                     "and report latency percentiles + queries/s")
-    p_load.add_argument("address",
-                        help="server address: host:port or unix:<path>")
+        "load", help="drive one or more running query servers with concurrent "
+                     "clients and report latency percentiles + queries/s")
+    p_load.add_argument("address", nargs="+",
+                        help="server address(es): host:port or unix:<path>; "
+                             "with several, clients are assigned round-robin "
+                             "and the report merges them with a per-address "
+                             "breakdown")
     p_load.add_argument("--clients", type=int, default=4)
     p_load.add_argument("--mode", choices=("closed", "open"), default="closed",
                         help="closed: one in-flight request per client; "

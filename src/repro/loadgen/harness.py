@@ -44,9 +44,16 @@ __all__ = ["LoadConfig", "LoadReport", "LoadGenerator"]
 
 @dataclass
 class LoadConfig:
-    """One load-generation run against a running server."""
+    """One load-generation run against one or more running servers.
 
-    address: str                      # "host:port" or "unix:<path>"
+    ``address`` is a single ``"host:port"`` / ``"unix:<path>"`` string or a
+    sequence of them; with several, clients are assigned round-robin and the
+    run produces one merged report with a per-address breakdown — the shape
+    needed to drive a sharded deployment (router + shards, or several
+    routers) as one traffic source.
+    """
+
+    address: "str | tuple[str, ...] | list[str]"
     clients: int = 4
     mode: str = "closed"              # "closed" | "open"
     duration_s: float = 2.0
@@ -62,6 +69,12 @@ class LoadConfig:
     reject_backoff_s: float = 0.002   # closed loop: pause after an overload reply
 
     def __post_init__(self) -> None:
+        if isinstance(self.address, str):
+            self.address = (self.address,)
+        else:
+            self.address = tuple(self.address)
+        if not self.address or not all(isinstance(a, str) and a for a in self.address):
+            raise ValueError("address must be one or more non-empty address strings")
         if self.mode not in ("closed", "open"):
             raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
         if self.clients < 1:
@@ -76,7 +89,12 @@ class LoadConfig:
 
 @dataclass
 class LoadReport:
-    """Aggregated result of one run: counts, throughput, latency quantiles."""
+    """Aggregated result of one run: counts, throughput, latency quantiles.
+
+    With several target addresses the top-level numbers are the *merged*
+    view (all clients, one clock), and ``per_address`` breaks the same
+    counters + latency quantiles down by target.
+    """
 
     mode: str
     clients: int
@@ -93,6 +111,8 @@ class LoadReport:
     queue_wait_ms: dict[str, float]   # server-stamped admission wait
     service_ms: dict[str, float]      # server-stamped batch service time
     queue_wait_share: float           # sum(queue_wait) / sum(server total)
+    addresses: list[str] = field(default_factory=list)
+    per_address: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def as_json(self) -> dict[str, Any]:
         return {
@@ -107,11 +127,13 @@ class LoadReport:
             "queue_wait_ms": self.queue_wait_ms,
             "service_ms": self.service_ms,
             "queue_wait_share": round(self.queue_wait_share, 4),
+            "addresses": list(self.addresses),
+            "per_address": self.per_address,
         }
 
     def summary_lines(self) -> list[str]:
         lat, qw = self.latency_ms, self.queue_wait_ms
-        return [
+        lines = [
             f"{self.mode}-loop, {self.clients} client(s), {self.elapsed_s:.2f}s: "
             f"{self.sent} sent, {self.answered} answered, {self.rejected} rejected, "
             f"{self.errors} errors, {self.timeouts} timeouts",
@@ -122,6 +144,15 @@ class LoadReport:
             f"queue wait: p50={qw.get('p50', 0):.2f}ms p99={qw.get('p99', 0):.2f}ms "
             f"({100 * self.queue_wait_share:.1f}% of server time)",
         ]
+        if len(self.addresses) > 1:
+            for address in self.addresses:
+                sub = self.per_address.get(address, {})
+                sub_lat = sub.get("latency_ms", {})
+                lines.append(
+                    f"  {address}: {sub.get('answered', 0)} answered, "
+                    f"{sub.get('queries_per_s', 0):,.1f} q/s, "
+                    f"p99={sub_lat.get('p99', 0):.2f}ms")
+        return lines
 
 
 def _quantiles(samples_s: list[float]) -> dict[str, float]:
@@ -177,33 +208,66 @@ class LoadGenerator:
 
     async def _run(self) -> LoadReport:
         cfg = self.config
-        tally = _Tally()
+        addresses = list(cfg.address)
+        # One tally per target: clients are assigned round-robin, so the
+        # per-address breakdown shows whether a sharded deployment's load
+        # lands evenly.  The merged view sums them on the shared clock.
+        tallies = {address: _Tally() for address in addresses}
         start = monotonic()
         deadline = start + cfg.duration_s
         client = (self._closed_client if cfg.mode == "closed"
                   else self._open_client)
-        await asyncio.gather(*(client(i, deadline, tally)
-                               for i in range(cfg.clients)))
+        await asyncio.gather(*(
+            client(i, deadline, tallies[addresses[i % len(addresses)]],
+                   addresses[i % len(addresses)])
+            for i in range(cfg.clients)))
         elapsed = monotonic() - start
-        replies = len(tally.latencies) + tally.rejected + tally.errors
-        total_server = sum(tally.server_totals)
+        merged = _Tally()
+        per_address: dict[str, dict[str, Any]] = {}
+        for address in addresses:
+            tally = tallies[address]
+            merged.sent += tally.sent
+            merged.rejected += tally.rejected
+            merged.errors += tally.errors
+            merged.timeouts += tally.timeouts
+            merged.disconnects += tally.disconnects
+            merged.latencies.extend(tally.latencies)
+            merged.queue_waits.extend(tally.queue_waits)
+            merged.services.extend(tally.services)
+            merged.server_totals.extend(tally.server_totals)
+            sub_replies = len(tally.latencies) + tally.rejected + tally.errors
+            per_address[address] = {
+                "sent": tally.sent, "answered": len(tally.latencies),
+                "rejected": tally.rejected, "errors": tally.errors,
+                "timeouts": tally.timeouts, "disconnects": tally.disconnects,
+                "queries_per_s": round(
+                    len(tally.latencies) / elapsed if elapsed > 0 else 0.0, 1),
+                "rejection_rate": round(
+                    tally.rejected / sub_replies if sub_replies else 0.0, 4),
+                "latency_ms": _quantiles(tally.latencies),
+            }
+        replies = len(merged.latencies) + merged.rejected + merged.errors
+        total_server = sum(merged.server_totals)
         return LoadReport(
             mode=cfg.mode, clients=cfg.clients, elapsed_s=elapsed,
-            sent=tally.sent, answered=len(tally.latencies),
-            rejected=tally.rejected, errors=tally.errors,
-            timeouts=tally.timeouts, disconnects=tally.disconnects,
-            queries_per_s=len(tally.latencies) / elapsed if elapsed > 0 else 0.0,
-            rejection_rate=tally.rejected / replies if replies else 0.0,
-            latency_ms=_quantiles(tally.latencies),
-            queue_wait_ms=_quantiles(tally.queue_waits),
-            service_ms=_quantiles(tally.services),
-            queue_wait_share=(sum(tally.queue_waits) / total_server
+            sent=merged.sent, answered=len(merged.latencies),
+            rejected=merged.rejected, errors=merged.errors,
+            timeouts=merged.timeouts, disconnects=merged.disconnects,
+            queries_per_s=len(merged.latencies) / elapsed if elapsed > 0 else 0.0,
+            rejection_rate=merged.rejected / replies if replies else 0.0,
+            latency_ms=_quantiles(merged.latencies),
+            queue_wait_ms=_quantiles(merged.queue_waits),
+            service_ms=_quantiles(merged.services),
+            queue_wait_share=(sum(merged.queue_waits) / total_server
                               if total_server > 0 else 0.0),
+            addresses=addresses,
+            per_address=per_address,
         )
 
     # ------------------------------------------------------------------ #
-    async def _connect(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
-        kind, target = parse_address(self.config.address)
+    async def _connect(self, address: str,
+                       ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        kind, target = parse_address(address)
         if kind == "unix":
             return await asyncio.open_unix_connection(target, limit=MAX_FRAME_BYTES)
         host, port = target
@@ -223,11 +287,11 @@ class LoadGenerator:
         return encode_frame(frame)
 
     async def _closed_client(self, index: int, deadline: float,
-                             tally: _Tally) -> None:
+                             tally: _Tally, address: str) -> None:
         """One request in flight at a time until the deadline/request cap."""
         cfg = self.config
         rng = np.random.default_rng((cfg.seed, index))
-        reader, writer = await self._connect()
+        reader, writer = await self._connect(address)
         sent = 0
         try:
             while monotonic() < deadline and (
@@ -256,11 +320,11 @@ class LoadGenerator:
             writer.close()
 
     async def _open_client(self, index: int, deadline: float,
-                           tally: _Tally) -> None:
+                           tally: _Tally, address: str) -> None:
         """Fixed-rate arrivals regardless of completions (pipelined sends)."""
         cfg = self.config
         rng = np.random.default_rng((cfg.seed, index))
-        reader, writer = await self._connect()
+        reader, writer = await self._connect(address)
         pending: dict[str, float] = {}
         done_sending = asyncio.Event()
 

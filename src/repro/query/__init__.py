@@ -30,6 +30,7 @@ from .backends import (
     available_query_backends,
     get_query_backend,
     register_query_backend,
+    resolve_vertex_range,
     topk_by_score,
 )
 from .engine import QueryEngine, QueryResult
@@ -45,6 +46,7 @@ __all__ = [
     "available_query_backends",
     "get_query_backend",
     "register_query_backend",
+    "resolve_vertex_range",
     "topk_by_score",
     "QueryEngine",
     "QueryResult",

@@ -44,6 +44,7 @@ __all__ = [
     "get_query_backend",
     "available_query_backends",
     "topk_by_score",
+    "resolve_vertex_range",
 ]
 
 #: Supported scoring metrics.  ``dot`` is the raw inner product; ``cosine``
@@ -145,6 +146,25 @@ def topk_by_score(ids: np.ndarray, scores: np.ndarray, k: int,
     return ids[order], scores[order]
 
 
+def resolve_vertex_range(vertex_range: "tuple[int, int] | None",
+                         num_rows: int) -> tuple[int, int]:
+    """Validate a candidate row range ``[lo, hi)`` (``None`` = every row).
+
+    The range restricts which rows may *appear in the answer* — it is the
+    primitive the sharded serving tier routes on (each shard owns one range
+    of the shared matrix).  Scoring still walks the canonical block grid of
+    the full matrix (see the backends), so a ranged answer's score bits are
+    identical to the same rows' bits in an unranged run.
+    """
+    if vertex_range is None:
+        return 0, num_rows
+    lo, hi = int(vertex_range[0]), int(vertex_range[1])
+    if not (0 <= lo < hi <= num_rows):
+        raise ValueError(
+            f"vertex_range [{lo}, {hi}) must satisfy 0 <= lo < hi <= {num_rows}")
+    return lo, hi
+
+
 @runtime_checkable
 class QueryBackend(Protocol):
     """Uniform interface over every top-k implementation."""
@@ -156,8 +176,16 @@ class QueryBackend(Protocol):
         ...
 
     def topk(self, prepared: PreparedMatrix, queries: np.ndarray, k: int, *,
-             block_rows: int = 4096) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(ids, scores)``, each ``(Q, k)``, ranked per query."""
+             block_rows: int = 4096,
+             vertex_range: "tuple[int, int] | None" = None,
+             ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, scores)``, each ``(Q, k)``, ranked per query.
+
+        ``vertex_range`` restricts the candidate rows to ``[lo, hi)`` (the
+        sharded serving tier's routing primitive) without perturbing score
+        bits: implementations must score the same canonical blocks as the
+        unranged run and only mask the selection.
+        """
         ...
 
 
@@ -177,17 +205,29 @@ class ExactQueryBackend:
                 "(brute-force oracle)")
 
     def topk(self, prepared: PreparedMatrix, queries: np.ndarray, k: int, *,
-             block_rows: int = 4096) -> tuple[np.ndarray, np.ndarray]:
+             block_rows: int = 4096,
+             vertex_range: "tuple[int, int] | None" = None,
+             ) -> tuple[np.ndarray, np.ndarray]:
         q, inv_qnorms = prepared.prepare_queries(queries)
         n = prepared.num_rows
-        k = min(k, n)
+        lo, hi = resolve_vertex_range(vertex_range, n)
+        k = min(k, hi - lo)
         if n == 0 or k == 0:
             return (np.empty((q.shape[0], 0), dtype=np.int64),
                     np.empty((q.shape[0], 0), dtype=np.float32))
-        scores = np.concatenate(
-            [prepared.score_block(start, stop, q, inv_qnorms)
-             for start, stop in prepared.blocks(block_rows)], axis=0)
-        all_ids = np.arange(n, dtype=np.int64)
+        # Score whole canonical blocks even at the range edges — masking
+        # happens after scoring, so a ranged run's bits match the full run.
+        parts_ids: list[np.ndarray] = []
+        parts_scores: list[np.ndarray] = []
+        for start, stop in prepared.blocks(block_rows):
+            if stop <= lo or start >= hi:
+                continue
+            block = prepared.score_block(start, stop, q, inv_qnorms)
+            a, b = max(start, lo) - start, min(stop, hi) - start
+            parts_ids.append(np.arange(start + a, start + b, dtype=np.int64))
+            parts_scores.append(block[a:b])
+        all_ids = np.concatenate(parts_ids)
+        scores = np.concatenate(parts_scores, axis=0)
         out_ids = np.empty((q.shape[0], k), dtype=np.int64)
         out_scores = np.empty((q.shape[0], k), dtype=np.float32)
         for j in range(q.shape[0]):
@@ -205,10 +245,13 @@ class BlockedQueryBackend:
                 "(ties kept), merged per query (default)")
 
     def topk(self, prepared: PreparedMatrix, queries: np.ndarray, k: int, *,
-             block_rows: int = 4096) -> tuple[np.ndarray, np.ndarray]:
+             block_rows: int = 4096,
+             vertex_range: "tuple[int, int] | None" = None,
+             ) -> tuple[np.ndarray, np.ndarray]:
         q, inv_qnorms = prepared.prepare_queries(queries)
         n, num_q = prepared.num_rows, q.shape[0]
-        k = min(k, n)
+        lo, hi = resolve_vertex_range(vertex_range, n)
+        k = min(k, hi - lo)
         if n == 0 or k == 0:
             return (np.empty((num_q, 0), dtype=np.int64),
                     np.empty((num_q, 0), dtype=np.float32))
@@ -216,8 +259,16 @@ class BlockedQueryBackend:
         cand_cols: list[np.ndarray] = []
         cand_scores: list[np.ndarray] = []
         for start, stop in prepared.blocks(block_rows):
+            if stop <= lo or start >= hi:
+                continue
             scores = prepared.score_block(start, stop, q, inv_qnorms)
-            rows = stop - start
+            # Mask out-of-range rows only after the full-block matmul, so
+            # the surviving rows' score bits equal the unranged run's.
+            a, b = max(start, lo) - start, min(stop, hi) - start
+            if a or b < stop - start:
+                scores = scores[a:b]
+            base = start + a
+            rows = b - a
             if rows > k:
                 # k-th best score per query; keep everything scoring >= it
                 # so boundary ties survive to the merge (where the shared
@@ -235,7 +286,7 @@ class BlockedQueryBackend:
                 keep_rows, keep_cols = np.nonzero(ranked >= thresholds[None, :])
             else:
                 keep_rows, keep_cols = np.nonzero(np.ones_like(scores, dtype=bool))
-            cand_ids.append((start + keep_rows).astype(np.int64))
+            cand_ids.append((base + keep_rows).astype(np.int64))
             cand_cols.append(keep_cols)
             cand_scores.append(scores[keep_rows, keep_cols])
         ids = np.concatenate(cand_ids)

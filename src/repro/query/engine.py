@@ -27,6 +27,7 @@ from .backends import (
     PreparedMatrix,
     QueryBackend,
     get_query_backend,
+    resolve_vertex_range,
 )
 
 __all__ = ["QueryEngine", "QueryResult"]
@@ -108,30 +109,43 @@ class QueryEngine:
     # Serving
     # ------------------------------------------------------------------ #
     def query(self, vectors: np.ndarray, k: int = 10, *,
-              backend: "str | QueryBackend | None" = None) -> QueryResult:
-        """Top-k rows for each query vector (``(d,)`` or ``(Q, d)``)."""
+              backend: "str | QueryBackend | None" = None,
+              vertex_range: "tuple[int, int] | None" = None) -> QueryResult:
+        """Top-k rows for each query vector (``(d,)`` or ``(Q, d)``).
+
+        ``vertex_range`` restricts the candidate rows to ``[lo, hi)`` — the
+        sharded serving tier's routing primitive.  The surviving rows'
+        score bits are identical to an unranged run (backends score the
+        same canonical blocks and only mask selection).
+        """
         if k < 1:
             raise ValueError("k must be >= 1")
         resolved = self.backend if backend is None else get_query_backend(backend)
+        lo, hi = resolve_vertex_range(vertex_range, self.num_vertices)
         q = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         t0 = perf_counter()
-        ids, scores = resolved.topk(self.prepared, q, k, block_rows=self.block_rows)
+        ids, scores = resolved.topk(self.prepared, q, k, block_rows=self.block_rows,
+                                    vertex_range=vertex_range)
         seconds = perf_counter() - t0
         self.queries_served += q.shape[0]
         self.batches_served += 1
-        self.rows_scored += self.num_vertices * q.shape[0]
+        self.rows_scored += (hi - lo) * q.shape[0]
         self.query_seconds += seconds
         return QueryResult(ids=ids, scores=scores, metric=self.metric,
                            backend=resolved.name, seconds=seconds)
 
     def nearest(self, vertices: "int | np.ndarray", k: int = 10, *,
                 exclude_self: bool = True,
-                backend: "str | QueryBackend | None" = None) -> QueryResult:
+                backend: "str | QueryBackend | None" = None,
+                vertex_range: "tuple[int, int] | None" = None) -> QueryResult:
         """Top-k neighbours of stored vertices, queried by id.
 
         With ``exclude_self`` (default) each vertex is removed from its own
         answer — the engine asks for ``k + 1`` and drops the vertex's row,
-        so the caller still receives ``k`` neighbours.
+        so the caller still receives ``k`` neighbours.  Vertex ids are
+        always global (not relative to ``vertex_range``); with a range,
+        ``exclude_self`` reserves one slot regardless of whether the query
+        vertex falls inside the range, keeping the output rectangular.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -141,10 +155,13 @@ class QueryEngine:
                 f"vertex ids must lie in [0, {self.num_vertices}), "
                 f"got range [{idx.min()}, {idx.max()}]")
         if not exclude_self:
-            return self.query(self.prepared.matrix[idx], k, backend=backend)
-        want = min(k, max(self.num_vertices - 1, 0))
-        result = self.query(self.prepared.matrix[idx], min(want + 1, self.num_vertices),
-                            backend=backend)
+            return self.query(self.prepared.matrix[idx], k, backend=backend,
+                              vertex_range=vertex_range)
+        lo, hi = resolve_vertex_range(vertex_range, self.num_vertices)
+        size = hi - lo
+        want = min(k, max(size - 1, 0))
+        result = self.query(self.prepared.matrix[idx], min(want + 1, size),
+                            backend=backend, vertex_range=vertex_range)
         out_ids = np.empty((idx.shape[0], want), dtype=np.int64)
         out_scores = np.empty((idx.shape[0], want), dtype=np.float32)
         for j, v in enumerate(idx):

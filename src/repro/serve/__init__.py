@@ -13,10 +13,18 @@ exiting.
 
 :class:`ServerThread` runs the server on a daemon event-loop thread for
 synchronous callers; :class:`ServeClient` is the matching blocking client.
-The traffic-scale measurement side lives in :mod:`repro.loadgen`.
+
+Scale-out lives here too: :class:`HttpFront` (:mod:`repro.serve.http`) is a
+stdlib-only HTTP/1.1 adapter mapping ``POST /query`` / ``GET /stats`` /
+``GET /ping`` onto the same frame schema and admission gate, and
+:class:`ShardRouter` (:mod:`repro.serve.router`) partitions each graph's
+vertex ranges across N shard servers and merges their top-k bit-exactly
+(it *is* a ``QueryServer`` whose service fans out).  The traffic-scale
+measurement side lives in :mod:`repro.loadgen`.
 """
 
 from .client import ServeClient, parse_address
+from .http import HttpFront
 from .metrics import LatencyHistogram
 from .protocol import (
     ERROR_CODES,
@@ -27,10 +35,13 @@ from .protocol import (
     error_reply,
     parse_query_request,
 )
+from .router import ShardedBackendService, ShardError, ShardRouter, partition_ranges
 from .server import QueryServer, ServerThread
 
 __all__ = [
     "QueryServer", "ServerThread", "ServeClient", "parse_address",
     "LatencyHistogram", "FrameError", "ERROR_CODES", "MAX_FRAME_BYTES",
     "encode_frame", "decode_frame", "error_reply", "parse_query_request",
+    "HttpFront", "ShardRouter", "ShardedBackendService", "ShardError",
+    "partition_ranges",
 ]

@@ -18,13 +18,31 @@ __all__ = ["ServeClient", "parse_address"]
 
 
 def parse_address(address: str) -> "tuple[str, Any]":
-    """``host:port`` -> ("tcp", (host, port)); ``unix:<path>`` -> ("unix", path)."""
+    """``host:port`` -> ("tcp", (host, port)); ``unix:<path>`` -> ("unix", path).
+
+    IPv6 hosts use the standard bracket form ``[::1]:8080`` (the brackets
+    are stripped before connecting — ``socket.create_connection`` wants the
+    bare address).  A bracketless multi-colon string like ``::1`` is
+    rejected rather than mis-split into host ``:`` + port ``1``.
+    """
     if address.startswith("unix:"):
         return "unix", address[len("unix:"):]
+    if address.startswith("["):
+        # Bracketed IPv6: [host]:port
+        host, sep, rest = address[1:].partition("]")
+        if not sep or not rest.startswith(":") or not rest[1:].isdigit():
+            raise ValueError(
+                f"bad server address {address!r}; expected [ipv6-host]:port")
+        return "tcp", (host, int(rest[1:]))
     host, sep, port = address.rpartition(":")
     if not sep or not port.isdigit():
         raise ValueError(
-            f"bad server address {address!r}; expected host:port or unix:<path>")
+            f"bad server address {address!r}; expected host:port, "
+            f"[ipv6-host]:port, or unix:<path>")
+    if ":" in host:
+        raise ValueError(
+            f"bad server address {address!r}; IPv6 hosts need brackets "
+            f"and an explicit port, e.g. [::1]:8080")
     return "tcp", (host or "127.0.0.1", int(port))
 
 
@@ -56,8 +74,11 @@ class ServeClient:
               tool: "str | None" = None, graph: "str | None" = None,
               metric: "str | None" = None, backend: "str | None" = None,
               exclude_self: "bool | None" = None,
+              vertex_range: "tuple[int, int] | None" = None,
               request_id: Any = None) -> dict[str, Any]:
         frame: dict[str, Any] = {"verb": "query", "k": k, "created": monotonic()}
+        if vertex_range is not None:
+            frame["range"] = [int(vertex_range[0]), int(vertex_range[1])]
         for key, value in (("id", request_id), ("vertices", vertices),
                            ("vectors", vectors), ("tool", tool),
                            ("graph", graph), ("metric", metric),

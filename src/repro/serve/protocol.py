@@ -6,8 +6,13 @@ request frame names a verb plus its arguments::
 
     {"id": 7, "verb": "query", "vertices": [0, 12], "k": 5}
     {"id": 8, "verb": "query", "vectors": [[0.1, 0.2, ...]], "k": 3}
+    {"id": 9, "verb": "query", "vertices": [3], "k": 5, "range": [0, 150]}
     {"verb": "stats"}
     {"verb": "ping"}
+
+A query's optional ``"range": [lo, hi)`` restricts the candidate rows — the
+primitive the shard router uses to make each backend answer only for the
+vertex range it owns (score bits are unchanged vs. an unranged run).
 
 and every reply echoes the request's ``id`` (when one was given) with
 ``"ok": true`` plus the answer, or ``"ok": false`` with a machine-readable
@@ -135,10 +140,22 @@ def parse_query_request(frame: Mapping[str, Any], *,
     exclude_self = frame.get("exclude_self", True)
     if not isinstance(exclude_self, bool):
         raise FrameError("bad-request", "'exclude_self' must be a boolean")
+    vertex_range = frame.get("range")
+    if vertex_range is not None:
+        ok = (isinstance(vertex_range, (list, tuple)) and len(vertex_range) == 2
+              and all(isinstance(b, int) and not isinstance(b, bool)
+                      for b in vertex_range)
+              and 0 <= vertex_range[0] < vertex_range[1])
+        if not ok:
+            raise FrameError(
+                "bad-request",
+                f"'range' must be [lo, hi] with 0 <= lo < hi, got {vertex_range!r}")
+        vertex_range = (int(vertex_range[0]), int(vertex_range[1]))
     try:
         return QueryRequest(tool=tool, graph=graphs[graph_name],
                             vertices=vertices, vectors=vectors, k=k,
                             metric=metric, backend=backend,
-                            exclude_self=exclude_self)
+                            exclude_self=exclude_self,
+                            vertex_range=vertex_range)
     except ValueError as exc:   # e.g. neither/both of vertices and vectors
         raise FrameError("bad-request", str(exc)) from exc

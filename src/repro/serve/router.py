@@ -1,0 +1,452 @@
+"""`ShardRouter` — horizontal scale-out for the resident serving tier.
+
+One :class:`~repro.serve.server.QueryServer` process is the ceiling on
+serving throughput; the router removes it the way the paper's multi-worker
+partitioning removes the training ceiling: **partition the vertex space,
+fan out, merge**.  Each graph's rows are split into N contiguous ranges
+(:func:`partition_ranges`); shard *s* is an ordinary ``QueryServer`` that
+answers every query with ``"range": [lo_s, hi_s)`` — the routing primitive
+added to the query stack — so it only proposes candidates from the rows it
+owns.  The router concatenates the shards' candidates per query row and
+re-ranks with the *same* shared rule every backend uses
+(:func:`repro.query.backends.topk_by_score`: descending score, ascending id
+on ties).
+
+**The merge is bit-exact.**  Ranged scoring walks the same canonical block
+grid as an unranged run and only masks selection (see
+``resolve_vertex_range``), so every shard candidate's float32 score bits
+equal the single-server oracle's bits for that row; JSON transport is
+exact for float32 (shortest-repr round-trip); and a shard returns its full
+local top-k — a global top-k winner is necessarily a local top-k winner in
+the shard that owns it.  The parity suite in ``tests/serve/test_router.py``
+pins merged ids *and* score bits against a single-process run.
+
+**The router is itself a ``QueryServer``.**  :class:`ShardedBackendService`
+duck-types the one interface the server needs (``query_batch`` /
+``stats``), so the router inherits the whole serving tier for free:
+NDJSON protocol, admission control with typed ``overloaded`` rejections,
+microbatching of concurrent client queries into shared fan-outs, the
+``stats`` verb, graceful drain, the blocking :class:`ServerThread` facade,
+and the HTTP front (``http_port``).
+
+``exclude_self`` never reaches the shards: the router asks each shard for
+``k + 1`` *including* self (self-exclusion is not range-local — the self
+row lives in exactly one shard) and drops the query's own id at merge
+time, reproducing the engine's ask-one-extra idiom across the cluster.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..query.backends import topk_by_score
+from .client import ServeClient, parse_address
+from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+from .server import QueryServer, ServerThread
+
+__all__ = ["ShardRouter", "ShardedBackendService", "ShardError",
+           "partition_ranges"]
+
+
+def partition_ranges(num_vertices: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``[0, num_vertices)`` into ``shards`` contiguous near-even ranges.
+
+    The first ``num_vertices % shards`` ranges get one extra row.  With more
+    shards than rows the tail ranges are empty ``(x, x)`` — callers must
+    skip those when fanning out (a ranged query requires ``lo < hi``).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if num_vertices < 0:
+        raise ValueError("num_vertices must be >= 0")
+    base, extra = divmod(num_vertices, shards)
+    ranges, lo = [], 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+class ShardError(RuntimeError):
+    """A shard failed a fanned-out request (error reply, version skew, or
+    connection failure).  Carried per-request so one shard's trouble fails
+    only the queries that needed it."""
+
+
+class _RoutedEntry:
+    """The ``entry`` facet of a routed response: just the store version the
+    shards agreed on (the router holds no store of its own)."""
+
+    __slots__ = ("version",)
+
+    def __init__(self, version: int):
+        self.version = version
+
+
+class _RoutedResponse:
+    """Duck-types the response surface ``QueryServer._finish`` reads:
+    ``ids`` / ``scores`` / ``store_hit`` / ``entry.version``."""
+
+    __slots__ = ("ids", "scores", "store_hit", "entry")
+
+    def __init__(self, ids: np.ndarray, scores: np.ndarray, store_hit: bool,
+                 version: int):
+        self.ids = ids
+        self.scores = scores
+        self.store_hit = store_hit
+        self.entry = _RoutedEntry(version)
+
+
+class _ShardLink:
+    """One persistent NDJSON connection to a shard, with pipelined batches.
+
+    ``exchange`` writes every frame before reading any reply, then matches
+    replies to frames by the echoed ``id`` (a server answers admission
+    rejections immediately but batched queries later, so reply order is
+    not request order).  One reconnect-and-resend retry absorbs a shard
+    restart between batches; queries are idempotent so a double send is
+    harmless.
+    """
+
+    def __init__(self, address: str, *, timeout_s: float = 30.0):
+        self.address = address
+        self.timeout_s = timeout_s
+        self._sock: "socket.socket | None" = None
+        self._file = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> None:
+        kind, target = parse_address(self.address)
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout_s)
+            sock.connect(target)
+        else:
+            sock = socket.create_connection(target, timeout=self.timeout_s)
+        self._sock, self._file = sock, sock.makefile("rb")
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        for obj in (self._file, self._sock):
+            if obj is not None:
+                try:
+                    obj.close()
+                except OSError:
+                    pass
+        self._sock = self._file = None
+
+    def exchange(self, frames: "list[dict[str, Any]]") -> dict[Any, dict[str, Any]]:
+        """Send every frame, read one reply per frame; return ``{id: reply}``."""
+        if not frames:
+            return {}
+        with self._lock:
+            for attempt in (0, 1):
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    return self._exchange_once(frames)
+                except (ConnectionError, OSError, ValueError) as exc:
+                    self._teardown()
+                    if attempt:
+                        raise ShardError(
+                            f"shard {self.address} unreachable: {exc}") from exc
+        raise AssertionError("unreachable")
+
+    def _exchange_once(self, frames: "list[dict[str, Any]]",
+                       ) -> dict[Any, dict[str, Any]]:
+        payload = b"".join(encode_frame(frame) for frame in frames)
+        assert self._sock is not None and self._file is not None
+        self._sock.sendall(payload)
+        replies: dict[Any, dict[str, Any]] = {}
+        for _ in frames:
+            line = self._file.readline(MAX_FRAME_BYTES + 1)
+            if not line:
+                raise ConnectionError("shard closed the connection mid-batch")
+            reply = decode_frame(line)
+            replies[reply.get("id")] = reply
+        return replies
+
+
+class ShardedBackendService:
+    """``EmbeddingService``-shaped facade that answers by shard fan-out.
+
+    Implements exactly the protocol :class:`QueryServer` requires of its
+    service — ``query_batch(requests) -> responses`` and ``stats()`` — so a
+    server wrapping this object *is* the shard router.  Per batch it builds
+    one ranged frame list per shard (only the shards whose range intersects
+    a request's allowed rows participate), pipelines them concurrently over
+    persistent links, and merges per request.  A failed request comes back
+    as a :class:`ShardError` *instance* in the response list — the server
+    already maps exception responses to typed ``error`` replies, so one bad
+    shard fails only its own queries, never the batch.
+    """
+
+    def __init__(self, addresses: Iterable[str], graphs: Mapping[str, Any], *,
+                 timeout_s: float = 30.0):
+        self.addresses = list(addresses)
+        if not self.addresses:
+            raise ValueError("need at least one shard address")
+        self.graphs = dict(graphs)
+        self._graph_names = {id(g): name for name, g in self.graphs.items()}
+        self._links = [_ShardLink(a, timeout_s=timeout_s) for a in self.addresses]
+        self._ranges = {name: partition_ranges(g.num_vertices, len(self.addresses))
+                        for name, g in self.graphs.items()}
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.addresses),
+            thread_name_prefix="repro-route")
+        # Router-level counters (folded into the stats verb).
+        self.fanouts = 0
+        self.shard_queries = 0
+        self.shard_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # The service protocol
+    # ------------------------------------------------------------------ #
+    def query_batch(self, requests: Iterable[Any]) -> list[Any]:
+        requests = list(requests)
+        plans = [self._plan(j, request) for j, request in enumerate(requests)]
+        per_shard: dict[int, list[dict[str, Any]]] = {}
+        for plan in plans:
+            for s, frame in plan["frames"].items():
+                per_shard.setdefault(s, []).append(frame)
+        self.fanouts += 1
+        self.shard_queries += sum(len(v) for v in per_shard.values())
+        futures = {s: self._pool.submit(self._links[s].exchange, frames)
+                   for s, frames in per_shard.items()}
+        replies: dict[int, "dict[Any, dict[str, Any]] | ShardError"] = {}
+        for s, future in futures.items():
+            try:
+                replies[s] = future.result()
+            except ShardError as exc:
+                self.shard_errors += 1
+                replies[s] = exc
+        return [self._merge(plan, requests[plan["index"]], replies)
+                for plan in plans]
+
+    def stats(self) -> dict[str, Any]:
+        """Router counters plus a best-effort snapshot of every shard."""
+        shards: list[dict[str, Any]] = []
+        for address in self.addresses:
+            try:
+                with ServeClient(address, timeout_s=2.0) as client:
+                    shard_stats = client.stats()
+                shards.append({"address": address,
+                               "server": shard_stats.get("server", {})})
+            except (ConnectionError, OSError, ValueError) as exc:
+                shards.append({"address": address, "error": str(exc)})
+        return {
+            "router": {
+                "shards": len(self.addresses),
+                "fanouts": self.fanouts,
+                "shard_queries": self.shard_queries,
+                "shard_errors": self.shard_errors,
+            },
+            "shards": shards,
+        }
+
+    def close(self) -> None:
+        for link in self._links:
+            link.close()
+        self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------ #
+    # Fan-out planning + merge
+    # ------------------------------------------------------------------ #
+    def _plan(self, j: int, request: Any) -> dict[str, Any]:
+        """Which shards serve request ``j``, and with what frames."""
+        graph_name = self._graph_names.get(id(request.graph))
+        if graph_name is None:
+            return {"index": j, "frames": {},
+                    "error": ShardError("request names a graph the router does "
+                                        "not serve")}
+        tool = request.tool if isinstance(request.tool, str) else request.tool.name
+        num_vertices = self.graphs[graph_name].num_vertices
+        lo_all, hi_all = request.vertex_range or (0, num_vertices)
+        hi_all = min(hi_all, num_vertices)
+        by_vertex = request.vertices is not None
+        exclude = bool(request.exclude_self) and by_vertex
+        # Ask one extra per shard when the self row must be dropped at
+        # merge time — the engine's own k+1 idiom, lifted over the fan-out.
+        shard_k = request.k + 1 if exclude else request.k
+        frames: dict[int, dict[str, Any]] = {}
+        for s, (lo, hi) in enumerate(self._ranges[graph_name]):
+            lo, hi = max(lo, lo_all), min(hi, hi_all)
+            if lo >= hi:
+                continue
+            frame: dict[str, Any] = {
+                "id": j, "verb": "query", "tool": tool, "graph": graph_name,
+                "k": min(shard_k, hi - lo), "range": [lo, hi],
+            }
+            if by_vertex:
+                frame["vertices"] = np.atleast_1d(
+                    np.asarray(request.vertices, dtype=np.int64)).tolist()
+                frame["exclude_self"] = False
+            else:
+                frame["vectors"] = np.atleast_2d(
+                    np.asarray(request.vectors, dtype=np.float32)).tolist()
+            if request.metric is not None:
+                frame["metric"] = request.metric
+            if request.backend is not None:
+                frame["backend"] = request.backend
+            frames[s] = frame
+        plan = {"index": j, "frames": frames,
+                "size": hi_all - lo_all, "exclude": exclude}
+        if not frames:
+            plan["error"] = ShardError(
+                f"request range [{lo_all}, {hi_all}) selects no rows")
+        return plan
+
+    def _merge(self, plan: dict[str, Any], request: Any,
+               replies: Mapping[int, Any]) -> Any:
+        if "error" in plan:
+            return plan["error"]
+        parts: list[dict[str, Any]] = []
+        for s in plan["frames"]:
+            shard_replies = replies.get(s)
+            if isinstance(shard_replies, ShardError):
+                return shard_replies
+            reply = (shard_replies or {}).get(plan["index"])
+            if reply is None:
+                self.shard_errors += 1
+                return ShardError(
+                    f"shard {self.addresses[s]} returned no reply for the request")
+            if not reply.get("ok"):
+                self.shard_errors += 1
+                return ShardError(
+                    f"shard {self.addresses[s]} failed the request: "
+                    f"{reply.get('code', 'error')}: {reply.get('error', '')}")
+            parts.append(reply)
+        versions = {int(p["version"]) for p in parts}
+        if len(versions) > 1:
+            self.shard_errors += 1
+            return ShardError(
+                f"shards disagree on the store version ({sorted(versions)}); "
+                f"refusing to merge across lineages")
+        num_queries = len(parts[0]["ids"])
+        exclude = plan["exclude"]
+        size = plan["size"]
+        want = min(request.k, max(size - 1, 0)) if exclude else min(request.k, size)
+        out_ids = np.empty((num_queries, want), dtype=np.int64)
+        out_scores = np.empty((num_queries, want), dtype=np.float32)
+        vertices = (np.atleast_1d(np.asarray(request.vertices, dtype=np.int64))
+                    if exclude else None)
+        for row in range(num_queries):
+            ids = np.concatenate([
+                np.asarray(p["ids"][row], dtype=np.int64) for p in parts])
+            # float32 -> JSON -> float32 is bit-exact (shortest-repr floats),
+            # so merged score bits equal the shards' — and the oracle's.
+            scores = np.concatenate([
+                np.asarray(p["scores"][row], dtype=np.float32) for p in parts])
+            if exclude:
+                keep = ids != vertices[row]
+                ids, scores = ids[keep], scores[keep]
+            out_ids[row], out_scores[row] = topk_by_score(ids, scores, want)
+        return _RoutedResponse(
+            ids=out_ids, scores=out_scores,
+            store_hit=all(bool(p.get("store_hit")) for p in parts),
+            version=versions.pop())
+
+
+class ShardRouter:
+    """The deployable router: a :class:`QueryServer` whose service is a
+    :class:`ShardedBackendService`, run on a :class:`ServerThread`.
+
+    Two construction shapes:
+
+    * ``ShardRouter(graphs, addresses)`` — route over externally managed
+      shard servers (e.g. separate processes started with ``repro-gosh
+      serve``).
+    * ``ShardRouter.spawn(service_or_factory, graphs, shard_count=N)`` —
+      spawn N in-process shard servers first (each on its own event-loop
+      thread, port 0), then route over them; ``stop()`` tears them down.
+      Pass a zero-argument *factory* to give every shard its own
+      ``EmbeddingService`` (same store directory, independent serving
+      locks) so shard fan-outs genuinely run in parallel.
+    """
+
+    def __init__(self, graphs: Mapping[str, Any], addresses: Iterable[str], *,
+                 default_graph: "str | None" = None,
+                 default_tool: "str | None" = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 socket_path: "str | None" = None,
+                 max_inflight: int = 64, queue_depth: int = 128,
+                 max_batch: int = 32, shard_timeout_s: float = 30.0,
+                 http_port: "int | None" = None, http_host: str = "127.0.0.1",
+                 owned: "list[ServerThread] | None" = None):
+        self.backend = ShardedBackendService(
+            addresses, graphs, timeout_s=shard_timeout_s)
+        self.server = QueryServer(
+            self.backend, graphs, host=host, port=port,
+            socket_path=socket_path, default_graph=default_graph,
+            default_tool=default_tool, max_inflight=max_inflight,
+            queue_depth=queue_depth, max_batch=max_batch)
+        self.handle = ServerThread(self.server, http_port=http_port,
+                                   http_host=http_host)
+        self._owned = list(owned or [])
+        self.address: "str | None" = None
+        self.http_address: "str | None" = None
+
+    @classmethod
+    def spawn(cls, service_or_factory: Any, graphs: Mapping[str, Any], *,
+              shard_count: int, shard_host: str = "127.0.0.1",
+              shard_max_inflight: int = 64, shard_queue_depth: int = 128,
+              shard_max_batch: int = 32,
+              **router_kwargs: Any) -> "ShardRouter":
+        """Spawn ``shard_count`` in-process shard servers, then route over
+        them.  ``service_or_factory`` is a service instance shared by every
+        shard, or a zero-argument factory called once per shard."""
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        owned: list[ServerThread] = []
+        addresses: list[str] = []
+        try:
+            for _ in range(shard_count):
+                service = (service_or_factory() if callable(service_or_factory)
+                           else service_or_factory)
+                shard = QueryServer(
+                    service, graphs, host=shard_host, port=0,
+                    max_inflight=shard_max_inflight,
+                    queue_depth=shard_queue_depth, max_batch=shard_max_batch)
+                handle = ServerThread(shard)
+                addresses.append(handle.start())
+                owned.append(handle)
+        except BaseException:
+            for handle in owned:
+                try:
+                    handle.stop()
+                except Exception:
+                    pass
+            raise
+        return cls(graphs, addresses, owned=owned, **router_kwargs)
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> str:
+        self.address = self.handle.start()
+        self.http_address = self.handle.http_address
+        return self.address
+
+    def stop(self, *, timeout_s: float = 30.0) -> None:
+        try:
+            self.handle.stop(timeout_s=timeout_s)
+        finally:
+            self.backend.close()
+            for handle in self._owned:
+                try:
+                    handle.stop(timeout_s=timeout_s)
+                except Exception:
+                    pass
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from time import monotonic
 from typing import TYPE_CHECKING, Any, Mapping
@@ -124,6 +125,8 @@ class QueryServer:
         self._batch_task: "asyncio.Task | None" = None
         self._drained: "asyncio.Event | None" = None
         self._connections: set[_Connection] = set()
+        # Set by an attached repro.serve.http.HttpFront; surfaced in stats.
+        self.http_front = None
 
         # Serving counters (read by the stats verb).
         self.connections_total = 0
@@ -135,6 +138,7 @@ class QueryServer:
         self.rejected_shutdown = 0
         self.malformed_frames = 0
         self.batch_failures = 0
+        self.batch_length_mismatches = 0
         self.replies_dropped = 0
         self.microbatches = 0
         self.max_batch_seen = 0
@@ -233,13 +237,16 @@ class QueryServer:
 
     async def _close_connection(self, conn: _Connection) -> None:
         self._connections.discard(conn)
+        # Mark the connection dead *before* enqueueing the writer sentinel:
+        # a _send racing this close must see closed=True and count the reply
+        # as dropped — a payload queued after the sentinel would vanish
+        # without ever incrementing replies_dropped.
+        conn.closed = True
         if conn.writer_task is not None:
             # Flush replies already queued (drain-on-shutdown must not race
-            # the final writes), then stop the writer.  New sends after this
-            # point count as dropped.
+            # the final writes), then stop the writer.
             conn.out.put_nowait(None)
             await conn.writer_task
-        conn.closed = True
         try:
             conn.writer.close()
             await conn.writer.wait_closed()
@@ -262,51 +269,73 @@ class QueryServer:
             self.malformed_frames += 1
             self._send(conn, error_reply(exc.code, str(exc)))
             return
+        outcome = self.dispatch_frame(frame)
+        if isinstance(outcome, _Pending):
+            asyncio.get_running_loop().create_task(self._forward_reply(outcome, conn))
+        else:
+            self._send(conn, outcome)
+
+    def dispatch_frame(self, frame: Mapping[str, Any]) -> "dict[str, Any] | _Pending":
+        """Serve one decoded frame, transport-independently.
+
+        Returns either an immediate reply dict (ping, stats, errors,
+        admission rejections) or an admitted :class:`_Pending` whose future
+        resolves to the reply once its batch is answered.  Both the NDJSON
+        connection handler and the HTTP front go through here, so every
+        transport shares the same verbs, error codes, and admission gate.
+        Must run on the event loop.
+        """
         request_id = frame.get("id")
         verb = frame.get("verb", "query")
         if verb == "ping":
-            self._send(conn, {"ok": True, "verb": "ping", "id": request_id})
-            return
+            return {"ok": True, "verb": "ping", "id": request_id}
         if verb == "stats":
             # Observability must work *especially* under overload, so stats
             # bypasses admission and the batch queue entirely.
-            self._send(conn, {"ok": True, "verb": "stats", "id": request_id,
-                              "stats": self.stats()})
-            return
+            return {"ok": True, "verb": "stats", "id": request_id,
+                    "stats": self.stats()}
         if verb != "query":
-            self._send(conn, error_reply(
+            return error_reply(
                 "unknown-verb", f"unknown verb {verb!r}; expected query/stats/ping",
-                request_id=request_id))
-            return
+                request_id=request_id)
         try:
             request = parse_query_request(
                 frame, graphs=self.graphs, default_graph=self.default_graph,
                 default_tool=self.default_tool)
         except FrameError as exc:
             self.malformed_frames += 1
-            self._send(conn, error_reply(exc.code, str(exc), request_id=request_id))
-            return
+            return error_reply(exc.code, str(exc), request_id=request_id)
         # --- admission gate -------------------------------------------- #
         if self._stopping:
             self.rejected_shutdown += 1
-            self._send(conn, error_reply(
+            return error_reply(
                 "shutting-down", "server is draining; retry elsewhere",
-                request_id=request_id))
-            return
+                request_id=request_id)
         if self._inflight >= self.max_inflight or self._queue.qsize() >= self.queue_depth:
             self.rejected_overload += 1
-            self._send(conn, error_reply(
+            return error_reply(
                 "overloaded",
                 f"admission rejected: {self._inflight} in flight "
                 f"(max {self.max_inflight}), {self._queue.qsize()} queued "
                 f"(depth {self.queue_depth})",
-                request_id=request_id))
-            return
+                request_id=request_id)
         pending = _Pending(request=request, request_id=request_id,
                            created=frame.get("created"), received=monotonic(),
                            future=asyncio.get_running_loop().create_future())
         self._admit(pending)
-        asyncio.get_running_loop().create_task(self._forward_reply(pending, conn))
+        return pending
+
+    async def submit_frame(self, frame: Mapping[str, Any]) -> dict[str, Any]:
+        """Answer one decoded frame end-to-end (the HTTP front's entry).
+
+        Counts the frame, dispatches it, and — when it was admitted —
+        awaits the batched answer.  Returns the reply dict.
+        """
+        self.frames_received += 1
+        outcome = self.dispatch_frame(frame)
+        if isinstance(outcome, _Pending):
+            return await outcome.future
+        return outcome
 
     def _admit(self, pending: _Pending) -> None:
         self._inflight += 1
@@ -348,8 +377,8 @@ class QueryServer:
         self.max_batch_seen = max(self.max_batch_seen, len(batch))
         requests = [p.request for p in batch]
         try:
-            responses: list[Any] = await loop.run_in_executor(
-                None, self.service.query_batch, requests)
+            responses: list[Any] = list(await loop.run_in_executor(
+                None, self.service.query_batch, requests))
         except Exception:
             # One poisoned request must not fail its batchmates: fall back
             # to per-request isolation and report the failure individually.
@@ -361,6 +390,17 @@ class QueryServer:
                         None, self.service.query_batch, [request]))[0])
                 except Exception as exc:
                     responses.append(exc)
+        if len(responses) != len(batch):
+            # A misbehaving service must not strand futures: zip would
+            # silently drop the unmatched pendings, their _forward_reply
+            # tasks would hang forever, and _retire(len(batch)) would drift
+            # _inflight.  Fail every position past the shorter list instead.
+            self.batch_length_mismatches += 1
+            exc = RuntimeError(
+                f"service returned {len(responses)} responses for "
+                f"{len(batch)} requests")
+            responses = responses[:len(batch)]
+            responses.extend([exc] * (len(batch) - len(responses)))
         answered = monotonic()
         for p, response in zip(batch, responses):
             self._finish(p, response, answered)
@@ -400,7 +440,7 @@ class QueryServer:
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, Any]:
         """One coherent snapshot: admission, latency, and service counters."""
-        return {
+        stats: dict[str, Any] = {
             "server": {
                 "address": self.address,
                 "graphs": sorted(self.graphs),
@@ -421,6 +461,7 @@ class QueryServer:
                 "rejected_shutdown": self.rejected_shutdown,
                 "malformed_frames": self.malformed_frames,
                 "batch_failures": self.batch_failures,
+                "batch_length_mismatches": self.batch_length_mismatches,
                 "replies_dropped": self.replies_dropped,
                 "microbatches": self.microbatches,
                 "max_batch_seen": self.max_batch_seen,
@@ -432,6 +473,9 @@ class QueryServer:
             },
             "service": self.service.stats(),
         }
+        if self.http_front is not None:
+            stats["http"] = self.http_front.stats()
+        return stats
 
 
 class ServerThread:
@@ -443,44 +487,76 @@ class ServerThread:
             client = ServeClient(address)
             ...
 
+    ``http_port`` additionally binds a :class:`repro.serve.http.HttpFront`
+    to the same server on the same loop (``http_address`` after start).
+
     ``stop()`` performs the server's graceful drain before the loop exits.
+    A drain that outlives ``timeout_s`` raises :class:`TimeoutError` — but
+    still stops the event loop and joins the thread, so a wedged drain
+    cannot leak the daemon loop thread.
     """
 
-    def __init__(self, server: QueryServer, *, start_timeout_s: float = 30.0):
+    def __init__(self, server: QueryServer, *, start_timeout_s: float = 30.0,
+                 http_port: "int | None" = None, http_host: str = "127.0.0.1"):
         self.server = server
         self.start_timeout_s = start_timeout_s
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._thread: "threading.Thread | None" = None
         self.address: "str | None" = None
+        self.http_address: "str | None" = None
+        self._http = None
+        if http_port is not None:
+            from .http import HttpFront
+            self._http = HttpFront(server, host=http_host, port=http_port)
 
     def start(self) -> str:
         if self._thread is not None:
             raise RuntimeError("server thread already started")
-        self._loop = asyncio.new_event_loop()
+        self._loop = loop = asyncio.new_event_loop()
         ready = threading.Event()
 
         def _run() -> None:
-            asyncio.set_event_loop(self._loop)
+            # Bind the loop locally: stop() nulls self._loop before joining.
+            asyncio.set_event_loop(loop)
             ready.set()
-            self._loop.run_forever()
+            loop.run_forever()
             # Drain loop-internal cleanup after run_forever is stopped.
-            self._loop.close()
+            loop.close()
 
         self._thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
         self._thread.start()
         ready.wait(self.start_timeout_s)
         future = asyncio.run_coroutine_threadsafe(self.server.start(), self._loop)
         self.address = future.result(self.start_timeout_s)
+        if self._http is not None:
+            future = asyncio.run_coroutine_threadsafe(self._http.start(), self._loop)
+            self.http_address = future.result(self.start_timeout_s)
         return self.address
+
+    async def _shutdown(self) -> None:
+        await self.server.stop()
+        if self._http is not None:
+            await self._http.stop()
 
     def stop(self, *, timeout_s: float = 30.0) -> None:
         if self._loop is None or self._thread is None:
             return
-        asyncio.run_coroutine_threadsafe(
-            self.server.stop(), self._loop).result(timeout_s)
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout_s)
+        loop, thread = self._loop, self._thread
         self._loop, self._thread = None, None
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), loop)
+        try:
+            future.result(timeout_s)
+        except FutureTimeoutError:
+            # The drain is wedged (e.g. the service is stuck in a worker
+            # thread).  Don't leak the daemon loop thread on top of that:
+            # abandon the drain, stop the loop, and surface the timeout.
+            future.cancel()
+            raise TimeoutError(
+                f"server drain did not finish within {timeout_s}s; event "
+                f"loop stopped, in-flight replies abandoned") from None
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout_s)
 
     def __enter__(self) -> str:
         return self.start()

@@ -110,6 +110,57 @@ class TestOverloadAccounting:
         assert report.answered == 0
 
 
+class TestMultiAddress:
+    @pytest.fixture(scope="class")
+    def second_served(self, tmp_path_factory):
+        graph = powerlaw_cluster(300, m=3, p_triangle=0.5, seed=7)
+        service = EmbeddingService(dim=8, epoch_scale=0.02,
+                                   store=tmp_path_factory.mktemp("store2"))
+        service.ensure_stored("gosh-fast", graph)
+        server = QueryServer(service, {"g": graph}, default_tool="gosh-fast")
+        handle = ServerThread(server)
+        address = handle.start()
+        yield address, server
+        handle.stop()
+
+    def test_clients_round_robin_over_addresses(self, served, second_served):
+        addr1, server1 = served
+        addr2, server2 = second_served
+        before1, before2 = server1.queries_answered, server2.queries_answered
+        report = LoadGenerator(LoadConfig(
+            address=[addr1, addr2], clients=4, mode="closed", duration_s=60.0,
+            requests_per_client=5, num_vertices=300, seed=3)).run()
+        # 4 clients round-robin over 2 addresses: 2 clients x 5 each per server.
+        assert report.sent == 20 and report.answered == 20
+        assert report.addresses == [addr1, addr2]
+        assert server1.queries_answered - before1 == 10
+        assert server2.queries_answered - before2 == 10
+        # The per-address breakdown partitions the merged totals exactly.
+        assert set(report.per_address) == {addr1, addr2}
+        for side in report.per_address.values():
+            assert side["answered"] == 10
+            assert side["rejected"] == side["errors"] == side["timeouts"] == 0
+            assert side["latency_ms"]["count"] == 10
+        assert sum(s["sent"] for s in report.per_address.values()) == report.sent
+        payload = report.as_json()
+        assert payload["addresses"] == [addr1, addr2]
+        assert set(payload["per_address"]) == {addr1, addr2}
+        # The human summary gains per-address lines only in multi-address runs.
+        assert any(addr2 in line for line in report.summary_lines())
+
+    def test_single_address_string_still_works(self, served):
+        address, _ = served
+        config = LoadConfig(address=address, clients=1, mode="closed",
+                            duration_s=60.0, requests_per_client=2,
+                            num_vertices=300)
+        assert config.address == (address,)
+        report = LoadGenerator(config).run()
+        assert report.answered == 2
+        assert report.addresses == [address]
+        # Single-address reports keep the compact summary (no per-line spam).
+        assert not any("per-address" in line for line in report.summary_lines())
+
+
 class TestConfigValidation:
     @pytest.mark.parametrize("kwargs", [
         {"mode": "sideways"},
@@ -121,3 +172,8 @@ class TestConfigValidation:
     def test_bad_configs_raise(self, kwargs):
         with pytest.raises(ValueError):
             LoadConfig(address="127.0.0.1:1", **kwargs)
+
+    @pytest.mark.parametrize("address", [[], [""], ["ok:1", ""]])
+    def test_bad_address_lists_raise(self, address):
+        with pytest.raises(ValueError):
+            LoadConfig(address=address)

@@ -86,6 +86,52 @@ class TestQuery:
         assert "120x8" in text and "sigmoid" in text and "exact" in text
 
 
+class TestRangedQueries:
+    def test_ranged_query_restricts_candidates_with_global_ids(self, matrix):
+        engine = QueryEngine(matrix, metric="cosine", block_rows=50)
+        result = engine.query(matrix[:3], k=5, vertex_range=(40, 90))
+        assert result.ids.shape == (3, 5)
+        assert ((result.ids >= 40) & (result.ids < 90)).all()
+        # rows_scored accounts the restricted scan, not the whole matrix.
+        assert engine.stats()["rows_scored"] == 50 * 3
+
+    def test_ranged_nearest_reserves_a_self_slot_rectangularly(self, matrix):
+        """Vertex ids are global; with exclude_self the output has
+        min(k, size - 1) columns whether or not the query vertex's own row
+        falls inside the range (self-exclusion costs a slot either way)."""
+        engine = QueryEngine(matrix, metric="cosine")
+        inside = engine.nearest([10], k=4, vertex_range=(0, 40))
+        outside = engine.nearest([100], k=4, vertex_range=(0, 40))
+        assert inside.ids.shape == outside.ids.shape == (1, 4)
+        assert 10 not in inside.ids[0]
+        assert inside.ids[0, 0] == 30               # 10's duplicate row
+        assert ((outside.ids >= 0) & (outside.ids < 40)).all()
+
+    def test_ranged_nearest_clamps_k_to_range_size(self, matrix):
+        # want = min(k, size - 1) for every row — one slot is reserved for
+        # self-exclusion even when self lies outside the range, so a batch
+        # mixing both kinds stays rectangular.
+        engine = QueryEngine(matrix, metric="dot")
+        result = engine.nearest([5, 22], k=50, vertex_range=(20, 25))
+        assert result.ids.shape == (2, 4)
+        assert 22 not in result.ids[1]
+        assert ((result.ids >= 20) & (result.ids < 25)).all()
+
+    def test_ranged_matches_unranged_over_the_full_span(self, matrix):
+        engine = QueryEngine(matrix, metric="cosine")
+        full = engine.nearest([7, 90], k=6)
+        spanned = engine.nearest([7, 90], k=6, vertex_range=(0, 120))
+        assert (full.ids == spanned.ids).all()
+        assert full.scores.tobytes() == spanned.scores.tobytes()
+
+    def test_bad_range_raises(self, matrix):
+        engine = QueryEngine(matrix)
+        with pytest.raises(ValueError, match="range"):
+            engine.query(matrix[:1], k=3, vertex_range=(60, 40))
+        with pytest.raises(ValueError, match="range"):
+            engine.nearest([0], k=3, vertex_range=(0, 121))
+
+
 class TestStoreIntegration:
     def test_engine_over_mmapped_store_entry(self, tmp_path, matrix, tiny_graph):
         """The serving path: save -> load(mmap=True) -> query, no copies."""

@@ -154,6 +154,65 @@ class TestParity:
             assert (scores == 0.0).all()
 
 
+class TestVertexRange:
+    """Ranged top-k — the sharded serving tier's routing primitive.
+
+    A ranged call scores the *same* canonical ``block_rows`` grid as an
+    unranged run and only masks selection, so partitioning the rows and
+    re-merging with the shared tie rule must reproduce the full run bit
+    for bit — this is what makes the shard router's merge exact.
+    """
+
+    @pytest.mark.parametrize("backend", ["exact", "blocked"])
+    @pytest.mark.parametrize("block_rows", [1, 33, 100, 997, 5000])
+    def test_partitioned_runs_merge_to_the_full_run(self, backend, block_rows):
+        m = golden_matrix(997, 16, seed=11)
+        prepared = PreparedMatrix(m, metric="cosine")
+        queries = np.random.default_rng(5).standard_normal((5, 16)).astype(np.float32)
+        k = 10
+        full_ids, full_scores = get_query_backend(backend).topk(
+            prepared, queries, k, block_rows=block_rows)
+        cuts = [0, 300, 601, 997]           # uneven, unaligned with the grid
+        parts = [get_query_backend(backend).topk(
+                     prepared, queries, k, block_rows=block_rows,
+                     vertex_range=(lo, hi))
+                 for lo, hi in zip(cuts, cuts[1:])]
+        for row in range(queries.shape[0]):
+            ids = np.concatenate([ids_part[row] for ids_part, _ in parts])
+            scores = np.concatenate([scores_part[row] for _, scores_part in parts])
+            merged_ids, merged_scores = topk_by_score(ids, scores, k)
+            assert merged_ids.tolist() == full_ids[row].tolist(), (backend, block_rows)
+            assert merged_scores.tobytes() == full_scores[row].tobytes(), \
+                (backend, block_rows)
+
+    @pytest.mark.parametrize("backend", ["exact", "blocked"])
+    def test_ranged_ids_are_global_and_in_range(self, backend):
+        m = golden_matrix(200, 8, seed=3)
+        prepared = PreparedMatrix(m, metric="dot")
+        q = m[:3]
+        ids, _ = get_query_backend(backend).topk(
+            prepared, q, 5, block_rows=32, vertex_range=(60, 140))
+        assert ((ids >= 60) & (ids < 140)).all()
+
+    @pytest.mark.parametrize("backend", ["exact", "blocked"])
+    def test_k_clamps_to_the_range_size(self, backend):
+        m = golden_matrix(100, 8, seed=4)
+        prepared = PreparedMatrix(m, metric="cosine")
+        ids, scores = get_query_backend(backend).topk(
+            prepared, m[:2], 50, block_rows=16, vertex_range=(10, 20))
+        assert ids.shape == scores.shape == (2, 10)
+        assert sorted(ids[0].tolist()) == list(range(10, 20))
+
+    @pytest.mark.parametrize("bad", [(5, 5), (10, 5), (-1, 10), (0, 101)])
+    def test_invalid_ranges_raise(self, bad):
+        m = golden_matrix(100, 8, seed=4)
+        prepared = PreparedMatrix(m, metric="dot")
+        for backend in ("exact", "blocked"):
+            with pytest.raises(ValueError, match="range"):
+                get_query_backend(backend).topk(prepared, m[:1], 3,
+                                                vertex_range=bad)
+
+
 class TestPreparedMatrix:
     def test_float32_contiguous_input_is_not_copied(self):
         m = np.ascontiguousarray(golden_matrix(10, 4, seed=0))

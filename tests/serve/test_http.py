@@ -1,0 +1,242 @@
+"""The stdlib HTTP/1.1 front: same verbs, same typed errors, HTTP carriage.
+
+Every request funnels through ``QueryServer.submit_frame``, so these tests
+pin two things: (1) the HTTP answers are the *same* answers the NDJSON
+protocol gives (bit-exact for query scores), and (2) the protocol's typed
+error codes surface as the documented status codes (400/404/405/413/503)
+with the JSON error body intact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingService
+from repro.graph import powerlaw_cluster
+from repro.serve import QueryServer, ServeClient, ServerThread, encode_frame
+
+pytestmark = pytest.mark.timeout(120)
+
+TIMEOUT = 10.0
+
+
+def http_conn(address: str) -> HTTPConnection:
+    host, _, port = address.rpartition(":")
+    return HTTPConnection(host, int(port), timeout=TIMEOUT)
+
+
+def request(conn: HTTPConnection, method: str, path: str,
+            payload: "dict | bytes | None" = None):
+    body = None
+    if payload is not None:
+        body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    raw = response.read()
+    return response, json.loads(raw)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(300, m=3, p_triangle=0.5, seed=7)
+
+
+@pytest.fixture(scope="module")
+def served(graph, tmp_path_factory):
+    """A warmed QueryServer with the HTTP front bound on the same loop."""
+    service = EmbeddingService(dim=8, epoch_scale=0.02,
+                               store=tmp_path_factory.mktemp("store"))
+    service.ensure_stored("gosh-fast", graph)
+    server = QueryServer(service, {"pl300": graph}, default_tool="gosh-fast")
+    handle = ServerThread(server, http_port=0)
+    handle.start()
+    assert handle.http_address is not None
+    yield handle.http_address, server, service
+    handle.stop()
+
+
+class TestRoutes:
+    def test_ping(self, served):
+        http_address, _, _ = served
+        conn = http_conn(http_address)
+        try:
+            response, body = request(conn, "GET", "/ping")
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert body["ok"] is True and body["verb"] == "ping"
+
+    def test_post_query_matches_library_answer_bit_exactly(self, served, graph):
+        http_address, _, service = served
+        expected = service.query("gosh-fast", graph, vertices=[0, 5], k=4)
+        conn = http_conn(http_address)
+        try:
+            response, body = request(conn, "POST", "/query",
+                                     {"vertices": [0, 5], "k": 4})
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/json"
+        assert body["ok"] is True
+        assert body["ids"] == expected.ids.tolist()
+        got = np.asarray(body["scores"], dtype=np.float32)
+        assert got.tobytes() == expected.scores.tobytes()
+        assert set(body["timing"]) == {"queue_wait_s", "service_s", "total_s"}
+
+    def test_stats_route_includes_http_counters(self, served):
+        http_address, _, _ = served
+        conn = http_conn(http_address)
+        try:
+            response, body = request(conn, "GET", "/stats")
+        finally:
+            conn.close()
+        assert response.status == 200
+        stats = body["stats"]
+        assert stats["http"]["address"] == http_address
+        assert stats["http"]["requests_total"] >= 1
+        assert stats["server"]["queries_admitted"] >= 0
+
+    def test_keep_alive_serves_many_requests_per_connection(self, served):
+        http_address, server, _ = served
+        before = server.http_front.connections_total
+        conn = http_conn(http_address)
+        try:
+            for _ in range(3):
+                response, body = request(conn, "GET", "/ping")
+                assert response.status == 200 and body["ok"] is True
+                assert response.getheader("Connection") == "keep-alive"
+        finally:
+            conn.close()
+        assert server.http_front.connections_total == before + 1
+
+
+class TestHttpErrors:
+    def test_bad_json_body_is_400_bad_frame(self, served):
+        http_address, server, _ = served
+        malformed_before = server.malformed_frames
+        conn = http_conn(http_address)
+        try:
+            response, body = request(conn, "POST", "/query", b"this is not json")
+            assert response.status == 400
+            assert body["code"] == "bad-frame"
+            # Same connection still serves after the bad body.
+            response, body = request(conn, "GET", "/ping")
+            assert response.status == 200
+        finally:
+            conn.close()
+        assert server.malformed_frames == malformed_before + 1
+
+    def test_bad_request_field_is_400_bad_request(self, served):
+        http_address, _, _ = served
+        conn = http_conn(http_address)
+        try:
+            response, body = request(conn, "POST", "/query",
+                                     {"vertices": [0], "k": -1})
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert body["code"] == "bad-request"
+
+    def test_unknown_route_is_404_with_route_list(self, served):
+        http_address, _, _ = served
+        conn = http_conn(http_address)
+        try:
+            response, body = request(conn, "GET", "/nope")
+        finally:
+            conn.close()
+        assert response.status == 404
+        assert body["code"] == "unknown-verb"
+        assert "POST /query" in body["error"]
+
+    def test_wrong_method_is_405_with_allow_header(self, served):
+        http_address, _, _ = served
+        conn = http_conn(http_address)
+        try:
+            response, body = request(conn, "GET", "/query")
+            assert response.status == 405
+            assert response.getheader("Allow") == "POST"
+            response2, _ = request(conn, "POST", "/ping")
+            assert response2.status == 405
+            assert response2.getheader("Allow") == "GET"
+        finally:
+            conn.close()
+        assert body["code"] == "bad-request"
+
+    def test_oversized_body_is_413(self, served):
+        http_address, _, _ = served
+        from repro.serve import MAX_FRAME_BYTES
+        conn = http_conn(http_address)
+        try:
+            conn.putrequest("POST", "/query")
+            conn.putheader("Content-Length", str(MAX_FRAME_BYTES + 1))
+            conn.endheaders()
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 413
+        assert "exceeds" in body["error"]
+
+
+class BlockingStub:
+    """query_batch blocks until released (same shape as the lifecycle stub)."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def query_batch(self, requests):
+        self.started.set()
+        assert self.release.wait(timeout=TIMEOUT)
+        return [SimpleNamespace(ids=np.zeros((r.num_queries, r.k), dtype=np.int64),
+                                scores=np.zeros((r.num_queries, r.k),
+                                                dtype=np.float32),
+                                store_hit=True,
+                                entry=SimpleNamespace(version=1))
+                for r in requests]
+
+    def stats(self):
+        return {}
+
+
+class TestAdmissionOverHttp:
+    def test_overload_is_503_with_retry_after(self):
+        stub = BlockingStub()
+        server = QueryServer(stub, {"g": object()}, default_tool="stub",
+                             max_inflight=1)
+        handle = ServerThread(server, http_port=0)
+        addr = handle.start()
+        try:
+            with ServeClient(addr, timeout_s=TIMEOUT) as ndjson:
+                # Saturate admission via the NDJSON side ...
+                ndjson._sock.sendall(encode_frame(
+                    {"id": "r1", "verb": "query", "vertices": [0]}))
+                assert stub.started.wait(TIMEOUT)
+                deadline = time.monotonic() + TIMEOUT
+                while server._inflight < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.002)
+                # ... then the HTTP side must see the same typed rejection.
+                conn = http_conn(handle.http_address)
+                try:
+                    response, body = request(conn, "POST", "/query",
+                                             {"vertices": [1], "k": 2})
+                finally:
+                    conn.close()
+                assert response.status == 503
+                assert body["code"] == "overloaded"
+                assert response.getheader("Retry-After") == "1"
+                stub.release.set()
+                line = ndjson._file.readline()
+                assert json.loads(line)["id"] == "r1"
+        finally:
+            stub.release.set()
+            handle.stop()
+        assert server.rejected_overload == 1

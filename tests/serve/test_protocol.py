@@ -11,6 +11,7 @@ from repro.serve import (
     decode_frame,
     encode_frame,
     error_reply,
+    parse_address,
     parse_query_request,
 )
 
@@ -96,3 +97,56 @@ class TestParseQueryRequest:
     def test_no_default_graph_requires_graph(self):
         with pytest.raises(FrameError, match="graph"):
             self.parse({"vertices": [0]}, default_graph=None)
+
+    def test_range_field_becomes_vertex_range(self):
+        request = self.parse({"vertices": [1], "range": [10, 20]})
+        assert request.vertex_range == (10, 20)
+        assert self.parse({"vertices": [1]}).vertex_range is None
+
+    @pytest.mark.parametrize("bad_range", [
+        "0-10",                 # not a list
+        [0],                    # wrong arity
+        [0, 10, 20],
+        [5, 5],                 # empty range
+        [10, 5],                # inverted
+        [-1, 10],               # negative
+        [0.0, 10],              # floats are not row indices
+        [False, True],          # bools are not row indices
+    ])
+    def test_bad_range_raises_bad_request(self, bad_range):
+        with pytest.raises(FrameError, match="range") as info:
+            self.parse({"vertices": [1], "range": bad_range})
+        assert info.value.code == "bad-request"
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.2:7654") == ("tcp", ("10.0.0.2", 7654))
+
+    def test_bare_port_defaults_host(self):
+        assert parse_address(":8080") == ("tcp", ("127.0.0.1", 8080))
+
+    def test_unix_path(self):
+        assert parse_address("unix:/tmp/serve.sock") == ("unix", "/tmp/serve.sock")
+
+    def test_bracketed_ipv6_strips_brackets(self):
+        # socket.create_connection wants the bare address, not "[::1]".
+        assert parse_address("[::1]:8080") == ("tcp", ("::1", 8080))
+        assert parse_address("[fe80::1]:7654") == ("tcp", ("fe80::1", 7654))
+
+    def test_bare_ipv6_rejected_with_bracket_hint(self):
+        # "::1" must not silently parse as host ":" + port 1.
+        with pytest.raises(ValueError, match="bracket"):
+            parse_address("::1")
+
+    @pytest.mark.parametrize("bad", [
+        "[::1]",            # brackets but no port
+        "[::1]8080",        # missing colon after brackets
+        "[::1]:port",       # non-numeric port
+        "nohost",           # no colon at all
+        "host:",            # empty port
+        "host:port",        # non-numeric port
+    ])
+    def test_malformed_addresses_rejected(self, bad):
+        with pytest.raises(ValueError, match="bad server address"):
+            parse_address(bad)

@@ -1,0 +1,193 @@
+"""ShardRouter parity: sharded serving must be *bit-exact* vs one server.
+
+The tentpole guarantee under test: a router fanning a query across N
+ranged shards and merging with :func:`repro.query.backends.topk_by_score`
+returns exactly the ids — and exactly the float32 score bits — a single
+unsharded server returns.  Ranged scoring walks the same canonical block
+grid (selection is masked, arithmetic is not), JSON round-trips float32
+exactly, and the merge reuses the shared descending-score / ascending-id
+tie rule, so the comparison below is ``==`` on ids and ``tobytes()`` on
+scores, never ``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingResult, EmbeddingService
+from repro.graph import powerlaw_cluster
+from repro.serve import ServeClient, ShardRouter, partition_ranges
+
+pytestmark = pytest.mark.timeout(120)
+
+
+class TestPartitionRanges:
+    def test_near_even_split_front_loads_the_remainder(self):
+        assert partition_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert partition_ranges(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_more_shards_than_rows_yields_empty_tails(self):
+        assert partition_ranges(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    @pytest.mark.parametrize("n,shards", [(1, 1), (7, 2), (300, 7), (0, 3)])
+    def test_ranges_tile_the_vertex_space(self, n, shards):
+        ranges = partition_ranges(n, shards)
+        assert len(ranges) == shards
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo                      # contiguous, no gaps/overlap
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            partition_ranges(10, 0)
+        with pytest.raises(ValueError, match="num_vertices"):
+            partition_ranges(-1, 2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(300, m=3, p_triangle=0.5, seed=7)
+
+
+@pytest.fixture(scope="module")
+def service(graph, tmp_path_factory):
+    """One warmed service per module: embedding is paid exactly once."""
+    service = EmbeddingService(dim=8, epoch_scale=0.02,
+                               store=tmp_path_factory.mktemp("store"))
+    service.ensure_stored("gosh-fast", graph)
+    return service
+
+
+@pytest.fixture(scope="module", params=[2, 3], ids=["shards2", "shards3"])
+def routed(request, service, graph):
+    """A running router over ``request.param`` in-process shard servers."""
+    router = ShardRouter.spawn(service, {"pl300": graph},
+                               shard_count=request.param,
+                               default_tool="gosh-fast")
+    address = router.start()
+    yield address, router
+    router.stop()
+
+
+def assert_bit_exact(reply, expected):
+    """Wire reply == oracle QueryResponse, to the last float32 bit."""
+    assert reply["ok"] is True, reply
+    assert reply["ids"] == expected.ids.tolist()
+    got_scores = np.asarray(reply["scores"], dtype=np.float32)
+    assert got_scores.shape == expected.scores.shape
+    assert got_scores.tobytes() == expected.scores.tobytes()
+
+
+class TestMergedParity:
+    def test_vertex_query_parity(self, routed, service, graph):
+        address, _ = routed
+        expected = service.query("gosh-fast", graph, vertices=[0, 5, 299], k=7)
+        with ServeClient(address) as client:
+            reply = client.query(vertices=[0, 5, 299], k=7)
+        assert_bit_exact(reply, expected)
+        assert reply["store_hit"] is True
+        assert reply["version"] == 1
+
+    def test_vector_query_parity(self, routed, service, graph):
+        address, _ = routed
+        vectors = [[0.25] * 8, [-1.0] + [0.5] * 7]
+        expected = service.query("gosh-fast", graph, vectors=np.asarray(
+            vectors, dtype=np.float32), k=5)
+        with ServeClient(address) as client:
+            reply = client.query(vectors=vectors, k=5)
+        assert_bit_exact(reply, expected)
+
+    def test_exclude_self_false_parity(self, routed, service, graph):
+        address, _ = routed
+        expected = service.query("gosh-fast", graph, vertices=[4, 150], k=3,
+                                 exclude_self=False)
+        with ServeClient(address) as client:
+            reply = client.query(vertices=[4, 150], k=3, exclude_self=False)
+        assert_bit_exact(reply, expected)
+        assert reply["ids"][0][0] == 4           # self wins its own query
+
+    def test_k_larger_than_graph_clamps_identically(self, routed, service, graph):
+        address, _ = routed
+        expected = service.query("gosh-fast", graph, vertices=[10], k=310)
+        with ServeClient(address) as client:
+            reply = client.query(vertices=[10], k=310)
+        assert len(reply["ids"][0]) == 299       # n - 1 with exclude_self
+        assert_bit_exact(reply, expected)
+
+    def test_ranged_query_parity_through_the_router(self, routed, service, graph):
+        # A client-supplied range intersects the shard ranges; the merge
+        # must equal a single-server run restricted to the same rows.
+        address, _ = routed
+        expected = service.query("gosh-fast", graph, vertices=[60], k=5,
+                                 vertex_range=(50, 250))
+        with ServeClient(address) as client:
+            reply = client.query(vertices=[60], k=5, vertex_range=(50, 250))
+        assert_bit_exact(reply, expected)
+
+    def test_stats_verb_exposes_router_and_shards(self, routed):
+        address, router = routed
+        with ServeClient(address) as client:
+            assert client.ping() is True
+            stats = client.stats()
+        router_stats = stats["service"]["router"]
+        assert router_stats["shards"] == len(router.backend.addresses)
+        assert router_stats["fanouts"] >= 1
+        assert router_stats["shard_errors"] == 0
+        per_shard = stats["service"]["shards"]
+        assert len(per_shard) == router_stats["shards"]
+        assert all("server" in s for s in per_shard)
+
+
+class TestTieBreakAcrossShards:
+    def test_duplicate_rows_straddling_the_boundary_merge_deterministically(
+            self, tmp_path):
+        """Exact score ties whose candidates live in *different* shards must
+        resolve by the shared ascending-id rule, not by shard arrival order."""
+        n, dim = 12, 4
+        graph = powerlaw_cluster(n, m=2, p_triangle=0.5, seed=3)
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((n, dim)).astype(np.float32)
+        emb[6] = emb[5]        # identical rows on either side of the 2-shard cut
+        service = EmbeddingService(dim=dim, store=tmp_path / "store")
+        service.store.save(
+            EmbeddingResult(embedding=emb, tool="gosh-fast", graph="tie",
+                            seconds=0.0, metadata={"config": "crafted-tie"}),
+            fingerprint=graph.fingerprint())
+        entry, hit = service.ensure_stored("gosh-fast", graph)
+        assert hit, "crafted embedding must be served, not re-embedded"
+
+        router = ShardRouter.spawn(service, {"tie": graph}, shard_count=2,
+                                   default_tool="gosh-fast")
+        with router as address, ServeClient(address) as client:
+            # Vertex 5's duplicate (id 6) lives in the *other* shard and ties
+            # every score bit; it must surface as the top neighbour.
+            expected = service.query("gosh-fast", graph, vertices=[5, 6], k=4)
+            reply = client.query(vertices=[5, 6], k=4)
+            assert_bit_exact(reply, expected)
+            assert reply["ids"][0][0] == 6       # 5's twin wins 5's query
+            assert reply["ids"][1][0] == 5       # and vice versa
+
+            # A vector equal to the twins ties them exactly: ascending id.
+            expected = service.query("gosh-fast", graph,
+                                     vectors=emb[5:6].copy(), k=3)
+            reply = client.query(vectors=[emb[5].tolist()], k=3)
+            assert_bit_exact(reply, expected)
+            assert reply["ids"][0][:2] == [5, 6]
+
+
+class TestShardFailure:
+    def test_dead_shard_fails_its_queries_not_the_router(self, service, graph):
+        router = ShardRouter.spawn(service, {"pl300": graph}, shard_count=2,
+                                   default_tool="gosh-fast")
+        with router as address, ServeClient(address) as client:
+            assert client.query(vertices=[0], k=3)["ok"] is True
+            router._owned[1].stop()              # shard dies out from under us
+            reply = client.query(vertices=[1], k=3)
+            assert reply["ok"] is False
+            assert reply["code"] == "error"
+            assert "ShardError" in reply["error"]
+            # The router itself stays up and observable.
+            assert client.ping() is True
+            stats = client.stats()
+            assert stats["service"]["router"]["shard_errors"] >= 1

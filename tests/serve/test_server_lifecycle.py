@@ -16,6 +16,8 @@ releases it.  The admission gate's contract under test:
 
 from __future__ import annotations
 
+import asyncio
+import gc
 import json
 import threading
 import time
@@ -25,6 +27,7 @@ import numpy as np
 import pytest
 
 from repro.serve import QueryServer, ServeClient, ServerThread, encode_frame
+from repro.serve.server import _Connection
 
 pytestmark = pytest.mark.timeout(60)
 
@@ -55,6 +58,39 @@ class BlockingStubService:
 
     def stats(self):
         return {"stub_batches": len(self.batch_sizes)}
+
+
+class MiscountingStubService(BlockingStubService):
+    """Breaks the service contract: returns ``len(requests) + extra`` responses."""
+
+    def __init__(self, extra: int):
+        super().__init__()
+        self.extra = extra
+
+    def query_batch(self, requests):
+        responses = super().query_batch(requests)
+        if self.extra < 0:
+            return responses[:self.extra]
+        return responses + [self._answer(requests[-1])] * self.extra
+
+
+class FakeWriter:
+    """StreamWriter stand-in: captures payloads, every transport op succeeds."""
+
+    def __init__(self):
+        self.payloads: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.payloads.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    async def wait_closed(self) -> None:
+        pass
 
 
 @pytest.fixture
@@ -224,3 +260,123 @@ class TestShutdownDrain:
         handle.start()
         handle.stop(timeout_s=TIMEOUT)
         assert server.queries_answered == 0
+
+
+class TestMisbehavingService:
+    """A service that returns the wrong number of responses must not strand
+    futures (their _forward_reply tasks would hang forever) or drift the
+    _inflight accounting (the admission gate would wedge shut)."""
+
+    def test_short_batch_fails_unmatched_requests_not_the_server(self):
+        stub = MiscountingStubService(extra=-1)
+        server = make_server(stub)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            send(c, {"id": "r1", "verb": "query", "vertices": [0]})
+            assert stub.started.wait(TIMEOUT)          # [r1] alone is in service
+            send(c, {"id": "r2", "verb": "query", "vertices": [1]})
+            send(c, {"id": "r3", "verb": "query", "vertices": [2]})
+            deadline = time.monotonic() + TIMEOUT
+            while server.queries_admitted < 3:         # r2+r3 queue up together
+                assert time.monotonic() < deadline
+                time.sleep(0.002)
+            stub.release.set()
+            replies = {r["id"]: r for r in (read(c), read(c), read(c))}
+            # Batch [r1]: 0 responses for 1 request -> r1 gets an error reply.
+            assert replies["r1"]["ok"] is False
+            assert replies["r1"]["code"] == "error"
+            assert "responses for" in replies["r1"]["error"]
+            # Batch [r2, r3]: 1 response for 2 requests -> r2 real, r3 error.
+            assert replies["r2"]["ok"] is True
+            assert replies["r3"]["code"] == "error"
+            # No stranded futures, no drifted admission accounting ...
+            assert server._inflight == 0
+            assert server.batch_length_mismatches == 2
+            # ... and the same server keeps serving once the service behaves.
+            stub.extra = 0
+            assert c.query(vertices=[5], request_id="r4")["ok"] is True
+        assert server.queries_answered == 2            # r2 + r4
+
+    def test_long_batch_truncates_extras_and_counts(self):
+        stub = MiscountingStubService(extra=1)
+        stub.release.set()
+        server = make_server(stub)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            assert c.query(vertices=[0], request_id="r1")["ok"] is True
+        assert server.batch_length_mismatches == 1
+        assert server._inflight == 0
+        assert server.queries_answered == 1
+
+
+class TestReplyDropRace:
+    def test_send_racing_close_counts_the_drop(self, stub):
+        """A reply enqueued between the writer sentinel and the connection
+        teardown must be *counted* as dropped, not silently vanish.  The
+        server marks ``conn.closed`` before queueing the sentinel, so a
+        racing ``_send`` always observes the closed flag."""
+
+        async def scenario():
+            server = make_server(stub)
+            conn = _Connection(writer=FakeWriter())
+            server._connections.add(conn)
+            loop = asyncio.get_running_loop()
+            conn.writer_task = loop.create_task(server._write_loop(conn))
+            closer = loop.create_task(server._close_connection(conn))
+            await asyncio.sleep(0)     # close marked conn.closed, queued sentinel
+            assert conn.closed is True
+            server._send(conn, {"ok": True, "id": "racer"})
+            await closer
+            return server, conn
+
+        server, conn = asyncio.run(scenario())
+        assert server.replies_dropped == 1
+        assert all(b"racer" not in payload for payload in conn.writer.payloads)
+
+
+class TestServerThreadLifecycle:
+    def test_stop_before_start_is_a_no_op(self, stub):
+        handle = ServerThread(make_server(stub))
+        handle.stop()                  # nothing started, nothing raised
+        assert handle.address is None
+
+    def test_double_start_raises(self, stub):
+        stub.release.set()
+        handle = ServerThread(make_server(stub))
+        handle.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                handle.start()
+        finally:
+            handle.stop(timeout_s=TIMEOUT)
+
+    # Releasing the wedged batch after the loop is gone makes the executor
+    # callback hit a closed loop, and the abandoned server coroutines die
+    # un-awaited — expected collateral of the abandoned drain.
+    @pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_drain_past_timeout_raises_and_still_joins_the_thread(self, stub):
+        server = make_server(stub)
+        handle = ServerThread(server)
+        addr = handle.start()
+        c = ServeClient(addr, timeout_s=TIMEOUT)
+        try:
+            send(c, {"id": "r1", "verb": "query", "vertices": [0]})
+            assert stub.started.wait(TIMEOUT)     # service wedged mid-batch
+            thread = handle._thread
+            with pytest.raises(TimeoutError, match="drain"):
+                handle.stop(timeout_s=0.3)
+            # The failed drain must not leak the daemon loop thread.
+            thread.join(TIMEOUT)
+            assert not thread.is_alive()
+            assert handle._thread is None
+            handle.stop()                         # second stop: clean no-op
+        finally:
+            stub.release.set()                    # let the worker thread exit
+            c.close()
+            # Reap the abandoned-drain debris (half-run server coroutines,
+            # the executor callback hitting the closed loop) while the
+            # warning filters above are still active.
+            time.sleep(0.05)
+            server._connections.clear()
+            del server, handle
+            gc.collect()
