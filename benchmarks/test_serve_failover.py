@@ -1,0 +1,178 @@
+"""Perf smoke test: serving SLO under shard failure, and recovery time.
+
+Two phases, one artifact (``bench_results/serve_failover.json``):
+
+* **SLO under failure** — a router over 2 vertex ranges x 2 replicas takes
+  closed-loop traffic while one replica is killed mid-run.  Within-request
+  failover must absorb the kill: the run finishes with zero errors and the
+  throughput floor intact, and the router's ``failovers`` counter shows the
+  kill actually happened during traffic.
+* **Recovery time** — a router over single-replica ranges has one shard
+  killed and restarted at the same address; the recorded number is the
+  wall-clock from restart to the background prober readmitting it
+  (``healthy`` again), after which the range must serve correctly.
+
+Floors sit far under local measurements (failover adds one refused connect
+to the affected requests; readmission is bounded by the probe backoff cap)
+so a noisy shared runner does not flake the non-blocking job.
+
+Marked ``perf`` so the tier-1 job skips it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import EmbeddingService
+from repro.graph import powerlaw_cluster
+from repro.loadgen import LoadConfig, LoadGenerator
+from repro.serve import HEALTH_HEALTHY, QueryServer, ServeClient, ServerThread, ShardRouter
+
+from conftest import record_perf_json
+
+pytestmark = pytest.mark.perf
+
+CLIENTS = 8
+DURATION_S = 2.0
+TOP_K = 10
+DIM = 16
+NUM_VERTICES = 2_000
+KILL_AFTER_S = 0.6
+
+#: Floors.  Failover keeps most of the healthy throughput (the affected
+#: requests pay one refused connect each); readmission is bounded by the
+#: probe schedule (interval 0.05s, backoff cap 0.5s) plus server startup.
+MIN_QUERIES_PER_S_UNDER_FAILURE = 50.0
+MAX_RECOVERY_S = 5.0
+
+
+def _shard_service_factory(store):
+    def shard_service() -> EmbeddingService:
+        return EmbeddingService(dim=DIM, epoch_scale=0.05, store=store)
+    return shard_service
+
+
+class TestServeFailover:
+    def test_failover_slo_and_recovery_time(self, tmp_path):
+        graph = powerlaw_cluster(NUM_VERTICES, m=3, seed=0)
+        shard_service = _shard_service_factory(tmp_path / "store")
+        shard_service().ensure_stored("gosh-fast", graph)      # warm once
+
+        # ---- Phase A: kill a replica under closed-loop traffic -------- #
+        router = ShardRouter.spawn(shard_service, {"bench": graph},
+                                   shard_count=2, replicas=2,
+                                   default_tool="gosh-fast",
+                                   shard_timeout_s=5.0,
+                                   probe_interval_s=0.1,
+                                   probe_backoff_max_s=1.0)
+        with router as address:
+            victim = router._owned[0]            # range 0's primary replica
+            killer = threading.Timer(KILL_AFTER_S, victim.stop)
+            killer.start()
+            report = LoadGenerator(LoadConfig(
+                address=address, clients=CLIENTS, mode="closed",
+                duration_s=DURATION_S, k=TOP_K,
+                num_vertices=NUM_VERTICES, seed=11)).run()
+            killer.join()
+            failovers = sum(g.failovers for g in router.backend.groups)
+            failure_counters = {
+                "failovers": failovers,
+                "shard_errors": router.backend.shard_errors,
+                "requests_ok": router.backend.requests_ok,
+                "requests_failed": router.backend.requests_failed,
+            }
+        lat = report.latency_ms
+        print(f"\n[perf] failover: {CLIENTS} closed-loop clients, replica "
+              f"killed at t={KILL_AFTER_S}s of {DURATION_S}s: "
+              f"{report.queries_per_s:,.0f} queries/s, "
+              f"p99={lat['p99']:.2f}ms, errors={report.errors}, "
+              f"failovers={failovers}")
+
+        # ---- Phase B: kill + restart, measure time-to-readmission ----- #
+        router = ShardRouter.spawn(shard_service, {"bench": graph},
+                                   shard_count=2,
+                                   default_tool="gosh-fast",
+                                   shard_timeout_s=5.0,
+                                   probe_interval_s=0.05,
+                                   probe_backoff_max_s=0.5)
+        with router as address, \
+                ServeClient(address, timeout_s=30.0) as client:
+            expected = client.query(vertices=[0, NUM_VERTICES - 1], k=TOP_K)
+            assert expected["ok"] is True
+            link = router.backend.groups[1].links[0]
+            dead_address = link.address
+            router._owned[1].stop()
+            failed = client.query(vertices=[NUM_VERTICES - 1], k=TOP_K)
+            assert failed["ok"] is False         # the range is down ...
+
+            restart_start = time.monotonic()
+            host, _, port = dead_address.rpartition(":")
+            replacement = None
+            while replacement is None:
+                assert time.monotonic() - restart_start < 10.0
+                handle = ServerThread(QueryServer(
+                    shard_service(), {"bench": graph},
+                    host=host, port=int(port)))
+                try:
+                    handle.start()
+                    replacement = handle
+                except OSError:                  # port still in teardown
+                    time.sleep(0.05)
+            try:
+                while link.health.state != HEALTH_HEALTHY:
+                    assert time.monotonic() - restart_start < 30.0, \
+                        "restarted shard was never readmitted"
+                    time.sleep(0.01)
+                recovery_s = time.monotonic() - restart_start
+                recovered = client.query(vertices=[0, NUM_VERTICES - 1],
+                                         k=TOP_K)
+                assert recovered["ok"] is True   # ... and back, bit-exact
+                assert recovered["ids"] == expected["ids"]
+                assert recovered["scores"] == expected["scores"]
+                readmissions = link.health.readmissions
+                probes = {"sent": link.probes_sent, "ok": link.probes_ok}
+            finally:
+                replacement.stop()
+        print(f"[perf] recovery: killed+restarted shard readmitted in "
+              f"{recovery_s * 1e3:.0f}ms ({probes['sent']} probe(s) sent)")
+
+        record_perf_json("serve_failover", {
+            "graph": {"vertices": graph.num_vertices,
+                      "edges": graph.num_undirected_edges, "dim": DIM},
+            "failover": {
+                "mode": "closed", "clients": CLIENTS,
+                "duration_s": DURATION_S, "kill_after_s": KILL_AFTER_S,
+                "shards": 2, "replicas": 2,
+                **failure_counters,
+                **report.as_json(),
+            },
+            "recovery": {
+                "shards": 2, "replicas": 1,
+                "probe_interval_s": 0.05, "probe_backoff_max_s": 0.5,
+                "recovery_s": round(recovery_s, 4),
+                "readmissions": readmissions,
+                "probes": probes,
+            },
+            "floor": {
+                "min_queries_per_s_under_failure":
+                    MIN_QUERIES_PER_S_UNDER_FAILURE,
+                "max_recovery_s": MAX_RECOVERY_S,
+            },
+        })
+
+        # SLO under failure: the kill is absorbed, not surfaced to clients.
+        assert report.answered > 0
+        assert report.errors == 0, f"{report.errors} requests failed over a " \
+                                   f"replicated range"
+        assert report.timeouts == 0 and report.disconnects == 0
+        assert failovers >= 1, "the kill never exercised failover"
+        assert report.queries_per_s >= MIN_QUERIES_PER_S_UNDER_FAILURE
+
+        # Recovery: the prober readmitted the restarted shard promptly.
+        assert readmissions >= 1
+        assert recovery_s <= MAX_RECOVERY_S, (
+            f"readmission took {recovery_s:.2f}s "
+            f"(bound: {MAX_RECOVERY_S}s)")

@@ -314,7 +314,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             service, {args.graph: graph}, default_graph=args.graph,
             default_tool=name, host=args.host, port=args.port,
             socket_path=args.socket, max_inflight=args.max_inflight,
-            queue_depth=args.queue_depth, max_batch=args.max_batch)
+            queue_depth=args.queue_depth, max_batch=args.max_batch,
+            max_inflight_per_tool=args.max_inflight_per_tool)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     handle = ServerThread(server, http_port=args.http_port,
@@ -357,8 +358,11 @@ def cmd_route(args: argparse.Namespace) -> int:
         default_graph=args.graph, default_tool=name, host=args.host,
         port=args.port, max_inflight=args.max_inflight,
         queue_depth=args.queue_depth, max_batch=args.max_batch,
-        shard_timeout_s=args.shard_timeout, http_port=args.http_port,
-        http_host=args.host)
+        max_inflight_per_tool=args.max_inflight_per_tool,
+        replicas=args.replicas, shard_timeout_s=args.shard_timeout,
+        probe_interval_s=args.probe_interval,
+        probe_backoff_max_s=args.probe_backoff_max,
+        http_port=args.http_port, http_host=args.host)
     try:
         if args.shards:
             # Every spawned shard gets its own EmbeddingService over the
@@ -378,9 +382,10 @@ def cmd_route(args: argparse.Namespace) -> int:
             print(f"warm: {'served from store' if hit else 'embedded and stored'} "
                   f"v{entry.version:04d} (config {entry.config_hash})")
             router = ShardRouter.spawn(shard_service, graphs,
-                                       shard_count=args.shards, **router_kwargs)
-            print(f"spawned {args.shards} shard server(s): "
-                  + ", ".join(router.backend.addresses))
+                                       shard_count=args.shards,
+                                       **router_kwargs)
+            print(f"spawned {args.shards} shard range(s) x {args.replicas} "
+                  f"replica(s): " + ", ".join(router.backend.addresses))
         else:
             router = ShardRouter(graphs, args.backend_address, **router_kwargs)
             print(f"routing over {len(args.backend_address)} external shard(s): "
@@ -406,10 +411,13 @@ def cmd_route(args: argparse.Namespace) -> int:
         print("\ndraining in-flight requests ...")
     router.stop()
     server = router.server
+    backend = router.backend
     print(f"routed {server.queries_answered} queries in {server.microbatches} "
-          f"microbatch(es); {router.backend.shard_queries} shard queries, "
-          f"{router.backend.shard_errors} shard error(s), "
-          f"{server.rejected_overload} overload rejection(s)")
+          f"microbatch(es); {backend.shard_queries} shard queries, "
+          f"{backend.shard_errors} shard error(s), "
+          f"{sum(g.failovers for g in backend.groups)} failover(s), "
+          f"{sum(l.health.readmissions for g in backend.groups for l in g.links)} "
+          f"readmission(s), {server.rejected_overload} overload rejection(s)")
     return 0
 
 
@@ -610,6 +618,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "requests before 'overloaded' replies")
     p_serve.add_argument("--queue-depth", type=int, default=128,
                          help="admission control: max requests waiting for a batch")
+    p_serve.add_argument("--max-inflight-per-tool", type=int, default=None,
+                         metavar="N",
+                         help="per-tool admission quota (default: no quota)")
     p_serve.add_argument("--max-batch", type=int, default=32,
                          help="max requests drained into one query_batch call")
     p_serve.add_argument("--metric", choices=METRICS, default="cosine")
@@ -657,7 +668,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--query-backend", default=None, metavar="NAME")
     p_route.add_argument("--block-rows", type=int, default=4096)
     p_route.add_argument("--shard-timeout", type=float, default=30.0,
-                         help="per-shard exchange timeout in seconds")
+                         help="per-shard exchange wall-clock deadline in "
+                              "seconds (a hung shard fails its batch within "
+                              "this bound)")
+    p_route.add_argument("--replicas", type=int, default=1, metavar="R",
+                         help="replica servers per vertex range; with "
+                              "--shards, spawns N*R servers; with "
+                              "--backend-address, groups consecutive "
+                              "addresses into R-sized replica sets")
+    p_route.add_argument("--probe-interval", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="base interval for re-probing unhealthy shard "
+                              "replicas (doubles per consecutive failure, "
+                              "capped at --probe-backoff-max)")
+    p_route.add_argument("--probe-backoff-max", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="cap on the probe backoff interval")
+    p_route.add_argument("--max-inflight-per-tool", type=int, default=None,
+                         metavar="N",
+                         help="per-tool admission quota (default: no quota)")
     p_route.add_argument("--max-seconds", type=float, default=None,
                          help="route for N seconds then drain and exit "
                               "(default: until Ctrl-C)")

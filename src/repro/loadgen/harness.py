@@ -267,11 +267,16 @@ class LoadGenerator:
     # ------------------------------------------------------------------ #
     async def _connect(self, address: str,
                        ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        # Connect establishment shares the per-request timeout discipline: a
+        # blackholed address must fail the client within timeout_s, not hang
+        # the whole run on an unbounded open_connection.
         kind, target = parse_address(address)
         if kind == "unix":
-            return await asyncio.open_unix_connection(target, limit=MAX_FRAME_BYTES)
-        host, port = target
-        return await asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES)
+            opening = asyncio.open_unix_connection(target, limit=MAX_FRAME_BYTES)
+        else:
+            host, port = target
+            opening = asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES)
+        return await asyncio.wait_for(opening, timeout=self.config.timeout_s)
 
     def _frame(self, rng: np.random.Generator, request_id: str,
                created: float) -> bytes:
@@ -288,24 +293,38 @@ class LoadGenerator:
 
     async def _closed_client(self, index: int, deadline: float,
                              tally: _Tally, address: str) -> None:
-        """One request in flight at a time until the deadline/request cap."""
+        """One request in flight at a time until the deadline/request cap.
+
+        ``timeout_s`` is a wall-clock deadline per request: the write drain
+        *and* the reply wait share one budget starting at ``created``, so a
+        server that accepts the connection and then blackholes (never reads,
+        never replies) fails the request as a timeout within ``timeout_s``
+        instead of hanging the client on an unbounded ``drain()``.
+        """
         cfg = self.config
         rng = np.random.default_rng((cfg.seed, index))
-        reader, writer = await self._connect(address)
+        try:
+            reader, writer = await self._connect(address)
+        except (asyncio.TimeoutError, TimeoutError):
+            tally.timeouts += 1
+            return
         sent = 0
         try:
             while monotonic() < deadline and (
                     cfg.requests_per_client is None
                     or sent < cfg.requests_per_client):
                 created = monotonic()
+                request_deadline = created + cfg.timeout_s
                 writer.write(self._frame(rng, f"c{index}-{sent}", created))
-                await writer.drain()
                 sent += 1
                 tally.sent += 1
                 try:
-                    line = await asyncio.wait_for(reader.readline(),
-                                                  timeout=cfg.timeout_s)
-                except asyncio.TimeoutError:
+                    await asyncio.wait_for(writer.drain(),
+                                           timeout=request_deadline - monotonic())
+                    line = await asyncio.wait_for(
+                        reader.readline(),
+                        timeout=max(request_deadline - monotonic(), 0.0))
+                except (asyncio.TimeoutError, TimeoutError):
                     tally.timeouts += 1
                     break
                 if not line:
@@ -324,7 +343,11 @@ class LoadGenerator:
         """Fixed-rate arrivals regardless of completions (pipelined sends)."""
         cfg = self.config
         rng = np.random.default_rng((cfg.seed, index))
-        reader, writer = await self._connect(address)
+        try:
+            reader, writer = await self._connect(address)
+        except (asyncio.TimeoutError, TimeoutError):
+            tally.timeouts += 1
+            return
         pending: dict[str, float] = {}
         done_sending = asyncio.Event()
 
@@ -360,7 +383,14 @@ class LoadGenerator:
                 created = monotonic()
                 pending[request_id] = created
                 writer.write(self._frame(rng, request_id, created))
-                await writer.drain()
+                try:
+                    await asyncio.wait_for(writer.drain(), timeout=cfg.timeout_s)
+                except (asyncio.TimeoutError, TimeoutError):
+                    # The socket buffer to a wedged server is full; stop
+                    # offering load and let the drain grace settle the tally.
+                    del pending[request_id]
+                    tally.timeouts += 1
+                    break
                 sent += 1
                 tally.sent += 1
                 next_send += period

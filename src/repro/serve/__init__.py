@@ -18,14 +18,17 @@ Scale-out lives here too: :class:`HttpFront` (:mod:`repro.serve.http`) is a
 stdlib-only HTTP/1.1 adapter mapping ``POST /query`` / ``GET /stats`` /
 ``GET /ping`` onto the same frame schema and admission gate, and
 :class:`ShardRouter` (:mod:`repro.serve.router`) partitions each graph's
-vertex ranges across N shard servers and merges their top-k bit-exactly
-(it *is* a ``QueryServer`` whose service fans out).  The traffic-scale
+vertex ranges across replica sets of shard servers and merges their top-k
+bit-exactly (it *is* a ``QueryServer`` whose service fans out).  Each
+replica carries a ``healthy → suspect → dead`` :class:`HealthState`
+machine with background re-probing, so crashed shards readmit on recovery
+and hung shards fail their batches within a deadline.  The traffic-scale
 measurement side lives in :mod:`repro.loadgen`.
 """
 
 from .client import ServeClient, parse_address
 from .http import HttpFront
-from .metrics import LatencyHistogram
+from .metrics import LatencyHistogram, StateClock
 from .protocol import (
     ERROR_CODES,
     MAX_FRAME_BYTES,
@@ -35,13 +38,23 @@ from .protocol import (
     error_reply,
     parse_query_request,
 )
-from .router import ShardedBackendService, ShardError, ShardRouter, partition_ranges
+from .router import (
+    HEALTH_DEAD,
+    HEALTH_HEALTHY,
+    HEALTH_SUSPECT,
+    HealthState,
+    ShardedBackendService,
+    ShardError,
+    ShardRouter,
+    partition_ranges,
+)
 from .server import QueryServer, ServerThread
 
 __all__ = [
     "QueryServer", "ServerThread", "ServeClient", "parse_address",
-    "LatencyHistogram", "FrameError", "ERROR_CODES", "MAX_FRAME_BYTES",
-    "encode_frame", "decode_frame", "error_reply", "parse_query_request",
-    "HttpFront", "ShardRouter", "ShardedBackendService", "ShardError",
-    "partition_ranges",
+    "LatencyHistogram", "StateClock", "FrameError", "ERROR_CODES",
+    "MAX_FRAME_BYTES", "encode_frame", "decode_frame", "error_reply",
+    "parse_query_request", "HttpFront", "ShardRouter",
+    "ShardedBackendService", "ShardError", "HealthState", "partition_ranges",
+    "HEALTH_HEALTHY", "HEALTH_SUSPECT", "HEALTH_DEAD",
 ]

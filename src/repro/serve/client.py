@@ -47,10 +47,21 @@ def parse_address(address: str) -> "tuple[str, Any]":
 
 
 class ServeClient:
-    """Blocking request/reply client over one server connection."""
+    """Blocking request/reply client over one server connection.
+
+    ``timeout_s`` is a per-request **wall-clock deadline**, not merely a
+    per-socket-operation timeout: every send and read inside one
+    :meth:`request` shares the deadline, so a server that accepts the
+    connection and then blackholes (reads nothing, replies nothing) fails
+    the request with :class:`TimeoutError` within ``timeout_s`` instead of
+    resetting the clock on every partial write.
+    """
 
     def __init__(self, address: str, *, timeout_s: float = 30.0):
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
         self.address = address
+        self.timeout_s = timeout_s
         kind, target = parse_address(address)
         if kind == "unix":
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -61,10 +72,29 @@ class ServeClient:
         self._file = self._sock.makefile("rb")
 
     # ------------------------------------------------------------------ #
+    def _arm(self, deadline: float) -> None:
+        """Bound the next socket operation by this request's deadline."""
+        remaining = deadline - monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"request to {self.address} exceeded the {self.timeout_s}s "
+                f"deadline")
+        self._sock.settimeout(remaining)
+
     def request(self, frame: dict[str, Any]) -> dict[str, Any]:
-        """Send one frame and block for its reply line."""
-        self._sock.sendall(encode_frame(frame))
-        line = self._file.readline(MAX_FRAME_BYTES + 1)
+        """Send one frame and block for its reply line (deadline-bounded)."""
+        deadline = monotonic() + self.timeout_s
+        try:
+            self._arm(deadline)
+            self._sock.sendall(encode_frame(frame))
+            self._arm(deadline)
+            line = self._file.readline(MAX_FRAME_BYTES + 1)
+        except socket.timeout as exc:
+            # socket.timeout is TimeoutError since 3.10, but normalise the
+            # message so callers see the deadline, not a bare "timed out".
+            raise TimeoutError(
+                f"request to {self.address} exceeded the {self.timeout_s}s "
+                f"deadline") from exc
         if not line:
             raise ConnectionError("server closed the connection")
         return decode_frame(line)

@@ -177,6 +177,10 @@ class HttpFront:
                 length = int(headers["content-length"])
             except ValueError as exc:
                 raise _BadRequest(400, "bad Content-Length") from exc
+            if length < 0:
+                # Before this check a negative length reached readexactly(),
+                # whose ValueError tore the connection down with no reply.
+                raise _BadRequest(400, "bad Content-Length")
             if length > MAX_FRAME_BYTES:
                 raise _BadRequest(413, f"body exceeds {MAX_FRAME_BYTES} bytes")
             body = await reader.readexactly(length)
@@ -197,12 +201,17 @@ class HttpFront:
             try:
                 frame = decode_frame(body)
             except FrameError as exc:
+                # A body that does not decode means the framing cannot be
+                # trusted (e.g. a Content-Length that undercut the real
+                # body leaves its tail in the buffer, to be misparsed as
+                # the next request line).  Close instead of keeping a
+                # desynced connection alive.
                 self.server.malformed_frames += 1
                 await self._respond(
                     writer, STATUS_BY_CODE[exc.code],
                     {"ok": False, "code": exc.code, "error": str(exc)},
-                    keep_alive=keep_alive)
-                return keep_alive
+                    keep_alive=False)
+                return False
             frame["verb"] = "query"   # the route names the verb
             reply = await self.server.submit_frame(frame)
         else:

@@ -18,10 +18,57 @@ anyway, reports exact percentiles — the histogram is the server-side view.
 from __future__ import annotations
 
 import math
+from time import monotonic
+from typing import Callable
 
 import numpy as np
 
-__all__ = ["LatencyHistogram"]
+__all__ = ["LatencyHistogram", "StateClock"]
+
+
+class StateClock:
+    """Track which state a component is in, for how long, and how often.
+
+    The router's shard-health machinery needs more than a current-state
+    enum: recovery time (how long was a shard dead before readmission?) and
+    availability (what share of wall-clock was it healthy?) are the numbers
+    a failure post-mortem actually asks for.  ``StateClock`` accumulates
+    seconds-per-state across transitions with O(states) memory; the clock
+    is injectable so state machines can be unit-tested deterministically.
+    """
+
+    def __init__(self, initial: str, *, clock: Callable[[], float] = monotonic):
+        self._clock = clock
+        self.state = initial
+        self.since = clock()
+        self.transitions = 0
+        self.seconds: dict[str, float] = {initial: 0.0}
+
+    def transition(self, state: str) -> float:
+        """Enter ``state``; returns the seconds spent in the previous one."""
+        now = self._clock()
+        dwell = now - self.since
+        self.seconds[self.state] = self.seconds.get(self.state, 0.0) + dwell
+        self.state = state
+        self.since = now
+        self.transitions += 1
+        return dwell
+
+    def seconds_in(self, state: str) -> float:
+        """Cumulative seconds spent in ``state``, current dwell included."""
+        total = self.seconds.get(state, 0.0)
+        if state == self.state:
+            total += self._clock() - self.since
+        return total
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "state": self.state,
+            "transitions": self.transitions,
+            "in_state_s": round(self._clock() - self.since, 6),
+            "seconds": {name: round(self.seconds_in(name), 6)
+                        for name in self.seconds},
+        }
 
 
 class LatencyHistogram:

@@ -86,11 +86,20 @@ def decode_frame(line: bytes) -> dict[str, Any]:
     return obj
 
 
-def error_reply(code: str, message: str, *, request_id: Any = None) -> dict[str, Any]:
-    """The canonical ``"ok": false`` reply frame."""
+def error_reply(code: str, message: str, *, request_id: Any = None,
+                detail: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
+    """The canonical ``"ok": false`` reply frame.
+
+    ``detail`` attaches a machine-readable payload when the ``code`` alone
+    is ambiguous — e.g. an ``overloaded`` rejection carries
+    ``{"tool": ..., "max_inflight_per_tool": ...}`` when it came from a
+    per-tool quota rather than the global admission gate.
+    """
     reply: dict[str, Any] = {"ok": False, "code": code, "error": message}
     if request_id is not None:
         reply["id"] = request_id
+    if detail is not None:
+        reply["detail"] = dict(detail)
     return reply
 
 

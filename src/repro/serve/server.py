@@ -72,6 +72,7 @@ class _Pending:
     created: float | None            # client's own stamp, echoed back opaque
     received: float                  # server monotonic at frame receipt
     future: "asyncio.Future[dict[str, Any]]"
+    tool: str = ""                   # tool name, for per-tool quota retirement
     admitted: float = 0.0            # server monotonic at batch admission
 
 
@@ -101,11 +102,14 @@ class QueryServer:
                  default_graph: "str | None" = None,
                  default_tool: "str | None" = None,
                  max_inflight: int = 64, queue_depth: int = 128,
-                 max_batch: int = 32):
+                 max_batch: int = 32,
+                 max_inflight_per_tool: "int | None" = None):
         if not graphs:
             raise ValueError("serve at least one graph")
         if max_inflight < 1 or queue_depth < 1 or max_batch < 1:
             raise ValueError("max_inflight, queue_depth and max_batch must be >= 1")
+        if max_inflight_per_tool is not None and max_inflight_per_tool < 1:
+            raise ValueError("max_inflight_per_tool must be >= 1 (or None)")
         if default_graph is None and len(graphs) == 1:
             default_graph = next(iter(graphs))
         if default_graph is not None and default_graph not in graphs:
@@ -116,6 +120,8 @@ class QueryServer:
         self.default_graph, self.default_tool = default_graph, default_tool
         self.max_inflight, self.queue_depth, self.max_batch = (
             max_inflight, queue_depth, max_batch)
+        self.max_inflight_per_tool = max_inflight_per_tool
+        self._inflight_by_tool: dict[str, int] = {}
 
         # Admission + lifecycle state (all touched only on the event loop).
         self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
@@ -135,6 +141,7 @@ class QueryServer:
         self.queries_answered = 0
         self.query_errors = 0
         self.rejected_overload = 0
+        self.rejected_tool_quota = 0
         self.rejected_shutdown = 0
         self.malformed_frames = 0
         self.batch_failures = 0
@@ -319,9 +326,25 @@ class QueryServer:
                 f"(max {self.max_inflight}), {self._queue.qsize()} queued "
                 f"(depth {self.queue_depth})",
                 request_id=request_id)
+        tool = (request.tool if isinstance(request.tool, str)
+                else request.tool.name)
+        if (self.max_inflight_per_tool is not None
+                and self._inflight_by_tool.get(tool, 0) >= self.max_inflight_per_tool):
+            # One hot tool saturating its quota must not read as global
+            # overload to everyone else — same code, typed detail.
+            self.rejected_tool_quota += 1
+            return error_reply(
+                "overloaded",
+                f"tool {tool!r} is at its admission quota "
+                f"({self.max_inflight_per_tool} in flight); other tools "
+                f"are still admitted",
+                request_id=request_id,
+                detail={"tool": tool,
+                        "max_inflight_per_tool": self.max_inflight_per_tool})
         pending = _Pending(request=request, request_id=request_id,
                            created=frame.get("created"), received=monotonic(),
-                           future=asyncio.get_running_loop().create_future())
+                           future=asyncio.get_running_loop().create_future(),
+                           tool=tool)
         self._admit(pending)
         return pending
 
@@ -339,13 +362,21 @@ class QueryServer:
 
     def _admit(self, pending: _Pending) -> None:
         self._inflight += 1
+        self._inflight_by_tool[pending.tool] = (
+            self._inflight_by_tool.get(pending.tool, 0) + 1)
         self.queries_admitted += 1
         assert self._drained is not None
         self._drained.clear()
         self._queue.put_nowait(pending)
 
-    def _retire(self, n: int = 1) -> None:
-        self._inflight -= n
+    def _retire(self, batch: "list[_Pending]") -> None:
+        self._inflight -= len(batch)
+        for p in batch:
+            remaining = self._inflight_by_tool.get(p.tool, 0) - 1
+            if remaining > 0:
+                self._inflight_by_tool[p.tool] = remaining
+            else:
+                self._inflight_by_tool.pop(p.tool, None)
         if self._inflight == 0:
             assert self._drained is not None
             self._drained.set()
@@ -404,7 +435,7 @@ class QueryServer:
         answered = monotonic()
         for p, response in zip(batch, responses):
             self._finish(p, response, answered)
-        self._retire(len(batch))
+        self._retire(batch)
 
     def _finish(self, p: _Pending, response: Any, answered: float) -> None:
         queue_wait = p.admitted - p.received
@@ -449,7 +480,9 @@ class QueryServer:
                 "max_inflight": self.max_inflight,
                 "queue_depth": self.queue_depth,
                 "max_batch": self.max_batch,
+                "max_inflight_per_tool": self.max_inflight_per_tool,
                 "inflight": self._inflight,
+                "inflight_by_tool": dict(self._inflight_by_tool),
                 "queued": self._queue.qsize(),
                 "connections_total": self.connections_total,
                 "connections_open": len(self._connections),
@@ -458,6 +491,7 @@ class QueryServer:
                 "queries_answered": self.queries_answered,
                 "query_errors": self.query_errors,
                 "rejected_overload": self.rejected_overload,
+                "rejected_tool_quota": self.rejected_tool_quota,
                 "rejected_shutdown": self.rejected_shutdown,
                 "malformed_frames": self.malformed_frames,
                 "batch_failures": self.batch_failures,

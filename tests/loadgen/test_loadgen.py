@@ -110,7 +110,59 @@ class TestOverloadAccounting:
         assert report.answered == 0
 
 
-class TestMultiAddress:
+class TestDeadlines:
+    @pytest.fixture()
+    def blackhole(self):
+        """A server that accepts connections and reads, but never replies."""
+        import socket
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(0.1)
+        address = f"127.0.0.1:{listener.getsockname()[1]}"
+        stop = threading.Event()
+
+        def swallow(conn):
+            with conn:
+                try:
+                    while conn.recv(65536):
+                        pass
+                except OSError:
+                    pass
+
+        def accept_loop():
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                threading.Thread(target=swallow, args=(conn,),
+                                 daemon=True).start()
+
+        thread = threading.Thread(target=accept_loop, daemon=True)
+        thread.start()
+        yield address
+        stop.set()
+        thread.join(timeout=10.0)
+        listener.close()
+
+    def test_blackholed_address_counts_timeouts_within_the_deadline(
+            self, blackhole):
+        """A server that accepts and then goes silent must not hang the
+        closed loop past ``timeout_s``: every await inside a request shares
+        the wall-clock deadline and the miss is tallied as a timeout."""
+        import time
+
+        start = time.monotonic()
+        report = LoadGenerator(LoadConfig(
+            address=blackhole, clients=2, mode="closed", duration_s=5.0,
+            timeout_s=0.4, num_vertices=10)).run()
+        elapsed = time.monotonic() - start
+        assert report.timeouts == 2              # one per client, then stop
+        assert report.answered == 0
+        assert elapsed < 4.0                     # bounded by deadlines, not
+                                                 # by duration_s
     @pytest.fixture(scope="class")
     def second_served(self, tmp_path_factory):
         graph = powerlaw_cluster(300, m=3, p_triangle=0.5, seed=7)

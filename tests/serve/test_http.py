@@ -10,6 +10,7 @@ with the JSON error body intact.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from http.client import HTTPConnection
@@ -168,6 +169,48 @@ class TestHttpErrors:
         finally:
             conn.close()
         assert body["code"] == "bad-request"
+
+    def test_framing_level_400_closes_the_connection(self, served):
+        """A Content-Length that undercuts the real body leaves its tail in
+        the buffer; on a kept-alive connection that tail — here a pipelined
+        second request — would be misparsed as the next request line.  A
+        framing-level 400 must therefore carry ``Connection: close`` and
+        actually close, never serving the pipelined request."""
+        http_address, _, _ = served
+        host, _, port = http_address.rpartition(":")
+        body = b'{"vertices": [0], "k": 3}'
+        pipelined = b"GET /ping HTTP/1.1\r\n\r\n"
+        with socket.create_connection((host, int(port)), timeout=TIMEOUT) as sock:
+            sock.sendall(b"POST /query HTTP/1.1\r\n"
+                         b"Content-Length: 5\r\n\r\n" + body + pipelined)
+            sock.settimeout(TIMEOUT)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break                      # server closed: framing reset
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.1 400")
+        head, _, _ = raw.partition(b"\r\n\r\n")
+        assert b"connection: close" in head.lower()
+        # Exactly one response: the pipelined ping was never served.
+        assert raw.count(b"HTTP/1.1") == 1
+
+    def test_negative_content_length_is_400_not_a_silent_close(self, served):
+        http_address, _, _ = served
+        host, _, port = http_address.rpartition(":")
+        with socket.create_connection((host, int(port)), timeout=TIMEOUT) as sock:
+            sock.sendall(b"POST /query HTTP/1.1\r\n"
+                         b"Content-Length: -5\r\n\r\n")
+            sock.settimeout(TIMEOUT)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.1 400"), raw
+        assert b"Content-Length" in raw
 
     def test_oversized_body_is_413(self, served):
         http_address, _, _ = served

@@ -1,0 +1,144 @@
+"""Per-tool admission quotas: one hot tool cannot starve the rest.
+
+Same deterministic-saturation technique as the lifecycle tests (a stub
+service that blocks until released), but the saturation is *per tool*:
+with ``max_inflight_per_tool=1`` and tool ``a`` stuck in service, another
+``a`` query must be rejected ``overloaded`` — with a machine-readable
+``detail`` naming the quota — while a ``b`` query is still admitted.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serve import QueryServer, ServeClient, ServerThread, encode_frame
+
+pytestmark = pytest.mark.timeout(60)
+
+TIMEOUT = 10.0
+
+
+class BlockingStubService:
+    """query_batch blocks until released; answers are all-zeros."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def query_batch(self, requests):
+        self.started.set()
+        assert self.release.wait(timeout=TIMEOUT), "test never released the stub"
+        return [SimpleNamespace(
+            ids=np.zeros((r.num_queries, r.k), dtype=np.int64),
+            scores=np.zeros((r.num_queries, r.k), dtype=np.float32),
+            store_hit=True, entry=SimpleNamespace(version=1))
+            for r in requests]
+
+    def stats(self):
+        return {}
+
+
+def send(client: ServeClient, frame: dict) -> None:
+    client._sock.sendall(encode_frame(frame))
+
+
+def read(client: ServeClient) -> dict:
+    line = client._file.readline()
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+
+def wait_for(predicate, what: str) -> None:
+    deadline = time.monotonic() + TIMEOUT
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {what}"
+        time.sleep(0.002)
+
+
+class TestPerToolQuota:
+    def test_saturated_tool_is_rejected_other_tools_admitted(self):
+        stub = BlockingStubService()
+        server = QueryServer(stub, {"g": object()}, default_tool="a",
+                             max_inflight=8, queue_depth=8,
+                             max_inflight_per_tool=1)
+        handle = ServerThread(server)
+        address = handle.start()
+        try:
+            with ServeClient(address, timeout_s=TIMEOUT) as client:
+                # Tool a's one slot goes into service and blocks there.
+                send(client, {"id": "a1", "verb": "query", "vertices": [0],
+                              "tool": "a"})
+                assert stub.started.wait(TIMEOUT)
+                wait_for(lambda: server._inflight == 1, "a1 admission")
+
+                # A second a is over quota: immediate typed rejection.
+                send(client, {"id": "a2", "verb": "query", "vertices": [1],
+                              "tool": "a"})
+                rejection = read(client)
+                assert rejection["id"] == "a2"
+                assert rejection["ok"] is False
+                assert rejection["code"] == "overloaded"
+                assert rejection["detail"] == {"tool": "a",
+                                               "max_inflight_per_tool": 1}
+                assert "'a'" in rejection["error"]
+
+                # A different tool still gets through the gate.
+                send(client, {"id": "b1", "verb": "query", "vertices": [2],
+                              "tool": "b"})
+                wait_for(lambda: server._inflight == 2, "b1 admission")
+                assert server._inflight_by_tool == {"a": 1, "b": 1}
+
+                # Quota state is observable while saturated.
+                with ServeClient(address, timeout_s=TIMEOUT) as observer:
+                    snapshot = observer.stats()["server"]
+                assert snapshot["max_inflight_per_tool"] == 1
+                assert snapshot["inflight_by_tool"] == {"a": 1, "b": 1}
+                assert snapshot["rejected_tool_quota"] == 1
+                assert snapshot["rejected_overload"] == 0
+
+                # Release: both admitted queries answer; per-tool counts
+                # drain back to empty.
+                stub.release.set()
+                answered = {read(client)["id"], read(client)["id"]}
+                assert answered == {"a1", "b1"}
+                wait_for(lambda: not server._inflight_by_tool,
+                         "per-tool inflight drain")
+        finally:
+            stub.release.set()
+            handle.stop()
+        assert server.rejected_tool_quota == 1
+        assert server.queries_answered == 2
+
+    def test_quota_frees_as_batches_retire(self):
+        stub = BlockingStubService()
+        server = QueryServer(stub, {"g": object()}, default_tool="a",
+                             max_inflight_per_tool=1)
+        handle = ServerThread(server)
+        address = handle.start()
+        try:
+            with ServeClient(address, timeout_s=TIMEOUT) as client:
+                send(client, {"id": "r1", "verb": "query", "vertices": [0]})
+                assert stub.started.wait(TIMEOUT)
+                stub.release.set()
+                assert read(client)["id"] == "r1"
+                # The slot is free again: the next same-tool query admits.
+                reply = client.query(vertices=[1], k=2)
+                assert reply["ok"] is True
+        finally:
+            stub.release.set()
+            handle.stop()
+        assert server.rejected_tool_quota == 0
+
+    def test_no_quota_by_default_and_validation(self):
+        stub = BlockingStubService()
+        server = QueryServer(stub, {"g": object()}, default_tool="a")
+        assert server.max_inflight_per_tool is None
+        with pytest.raises(ValueError, match="max_inflight_per_tool"):
+            QueryServer(stub, {"g": object()}, default_tool="a",
+                        max_inflight_per_tool=0)
