@@ -1,0 +1,112 @@
+"""Perf smoke test: crash/resume parity across real process boundaries.
+
+The in-process golden tests (``tests/faults/``) already pin bit-exact
+resume; this benchmark repeats the contract the way an operator hits it —
+three separate CLI processes sharing only the on-disk store:
+
+* **A (golden)** — one uninterrupted ``embed`` run.
+* **B (crashed)** — same flags plus ``--checkpoint-every 1
+  --inject-fault rotation-boundary:2``; the process dies with exit code 70
+  leaving checkpoints behind.
+* **C (resumed)** — same flags plus ``--resume``; picks up B's cursor from
+  the store and must finish **bit-identical** to A (``np.array_equal`` on
+  the float32 words).
+
+The artifact (``bench_results/resume_parity.json``) records the three
+wall-clock times and the work skipped; the resumed run repeats only the
+rotations after the cursor, so C finishing is the cheap half of the parity
+claim and the byte comparison is the hard half.
+
+Marked ``perf`` so the tier-1 job skips it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import powerlaw_cluster, write_edge_list
+
+from conftest import record_perf_json
+
+pytestmark = pytest.mark.perf
+
+EXIT_INJECTED_FAULT = 70
+NUM_VERTICES = 400
+DIM = 16
+KILL_SPECS = ["rotation-boundary:2", "level-boundary:1"]
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def run_cli(args: list[str], tmp_path: Path) -> tuple[int, str, float]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root() / "src")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=tmp_path, env=env, capture_output=True, text=True, timeout=300)
+    return proc.returncode, proc.stdout + proc.stderr, time.perf_counter() - start
+
+
+def embed_args(graph_file: Path, store: Path, out: Path, *extra: str) -> list[str]:
+    return ["embed", str(graph_file), "--config", "normal", "--dim", str(DIM),
+            "--epoch-scale", "0.2", "--seed", "0", "--device-memory-mb", "0.02",
+            "--store-dir", str(store), "-o", str(out), *extra]
+
+
+class TestResumeParity:
+    def test_resume_after_process_death_is_bit_exact(self, tmp_path):
+        graph_file = tmp_path / "graph.txt"
+        write_edge_list(powerlaw_cluster(NUM_VERTICES, m=3, seed=1), graph_file)
+
+        golden = tmp_path / "golden.npy"
+        code, out, golden_s = run_cli(
+            embed_args(graph_file, tmp_path / "store-golden", golden), tmp_path)
+        assert code == 0, out
+        golden_matrix = np.load(golden)
+
+        runs = []
+        for spec in KILL_SPECS:
+            store = tmp_path / f"store-{spec.replace(':', '-')}"
+            crashed = tmp_path / "crashed.npy"
+            code, out, crash_s = run_cli(
+                embed_args(graph_file, store, crashed,
+                           "--checkpoint-every", "1", "--inject-fault", spec),
+                tmp_path)
+            assert code == EXIT_INJECTED_FAULT, out
+            assert not crashed.exists()
+
+            resumed = tmp_path / f"resumed-{spec.replace(':', '-')}.npy"
+            code, out, resume_s = run_cli(
+                embed_args(graph_file, store, resumed, "--resume"), tmp_path)
+            assert code == 0, out
+            assert "resumed from checkpoint" in out
+            resumed_matrix = np.load(resumed)
+            bit_exact = bool(np.array_equal(golden_matrix, resumed_matrix))
+            runs.append({
+                "kill_spec": spec,
+                "crashed_run_s": round(crash_s, 3),
+                "resumed_run_s": round(resume_s, 3),
+                "bit_exact": bit_exact,
+            })
+
+        path = record_perf_json("resume_parity", {
+            "num_vertices": NUM_VERTICES,
+            "dim": DIM,
+            "golden_run_s": round(golden_s, 3),
+            "runs": runs,
+        })
+        print(f"\nresume parity: golden {golden_s:.2f}s, "
+              + ", ".join(f"{r['kill_spec']} resume {r['resumed_run_s']:.2f}s "
+                          f"bit_exact={r['bit_exact']}" for r in runs)
+              + f" -> {path}")
+        assert all(r["bit_exact"] for r in runs), runs

@@ -26,6 +26,9 @@ The package is organised around the paper's own structure:
 * :mod:`repro.query` — k-NN similarity serving over stored embeddings:
   ``QueryEngine`` with pluggable top-k backends (``blocked`` default,
   ``exact`` oracle).
+* :mod:`repro.faults` — deterministic fault injection: named crossing
+  points inside the training/store paths, armable by tests and the
+  ``embed --inject-fault`` CLI for crash-recovery drills.
 * :mod:`repro.harness` — dataset registry (Table 2 twins), experiment
   runner (registry-backed), and table formatting used by the benchmarks.
 
@@ -46,14 +49,14 @@ Quickstart — every backend behind one interface::
     print(api.available_tools())
 """
 
-from . import api, baselines, coarsening, embedding, eval, gpu, graph, harness, large, query, store
+from . import api, baselines, coarsening, embedding, eval, faults, gpu, graph, harness, large, query, store
 from .api import EmbeddingResult, EmbeddingService, available_tools, get_tool
 from .embedding import FAST, NO_COARSE, NORMAL, SLOW, GoshConfig, GoshEmbedder, GoshResult, embed
 from .graph import CSRGraph
 from .query import QueryEngine
 from .store import EmbeddingStore
 
-__version__ = "1.2.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "api",
@@ -61,6 +64,7 @@ __all__ = [
     "coarsening",
     "embedding",
     "eval",
+    "faults",
     "gpu",
     "graph",
     "harness",

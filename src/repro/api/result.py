@@ -50,6 +50,8 @@ def summarize_large_graph_stats(stats: list[LargeGraphStats]) -> dict[str, objec
         "pool_stall_s": round(sum(s.pool_stall_seconds for s in stats), 4),
         "pool_produce_s": round(sum(s.pool_produce_seconds for s in stats), 4),
         "max_ready_pools": max(s.max_ready_pools for s in stats),
+        "oom_retries": sum(s.oom_retries for s in stats),
+        "degradations": [d for s in stats for d in s.degradations],
     }
 
 
@@ -123,6 +125,10 @@ class EmbeddingResult:
         }
         if hierarchy_cache_hit is not None:
             stats["hierarchy_cache_hit"] = hierarchy_cache_hit
+        if result.checkpoints_saved:
+            stats["checkpoints_saved"] = result.checkpoints_saved
+        if result.resumed_from is not None:
+            stats["resumed_from"] = dict(result.resumed_from)
         return cls(
             embedding=result.embedding,
             tool=tool,
@@ -131,13 +137,7 @@ class EmbeddingResult:
             timings={"coarsening": result.coarsening_seconds,
                      "training": result.training_seconds},
             stats=stats,
-            metadata={
-                "config": result.config.name,
-                "dim": result.config.dim,
-                "epochs": result.config.epochs,
-                "learning_rate": result.config.learning_rate,
-                "seed": result.config.seed,
-            },
+            metadata=result.config.metadata_echo(),
             raw=result,
         )
 

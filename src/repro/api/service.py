@@ -175,7 +175,9 @@ class EmbeddingService:
                  metric: str = "cosine",
                  query_backend: str | None = None,
                  query_block_rows: int = 4096,
-                 engine_cache_entries: int = 8):
+                 engine_cache_entries: int = 8,
+                 checkpoint_every_rotations: int | None = None,
+                 auto_resume: bool = True):
         self.dim = dim
         self.epoch_scale = epoch_scale
         self.device = device
@@ -222,6 +224,17 @@ class EmbeddingService:
         # its stats verb reads the snapshot from the event loop; one lock
         # makes both entries safe without callers coordinating.
         self._serving_lock = threading.RLock()
+        # Crash safety for store-backed embeds: when a store is attached,
+        # service-resolved GOSH tools checkpoint into it and auto-resume
+        # (see GoshTool.configure_checkpointing).
+        self.checkpoint_every_rotations = checkpoint_every_rotations
+        self.auto_resume = auto_resume
+        # Single-flight embed-on-miss: concurrent queries that miss the same
+        # (graph, tool) lineage must not each train an embedding.  One caller
+        # owns the miss; the rest wait on a per-lineage latch and re-resolve.
+        self._miss_lock = threading.Lock()
+        self._inflight_embeds: dict[tuple[str, str], threading.Event] = {}
+        self.embeds_deduped = 0
 
     @staticmethod
     def _coerce_store(store: "EmbeddingStore | str | os.PathLike | None",
@@ -255,6 +268,13 @@ class EmbeddingService:
             # one with the same coarsening knobs.
             if hasattr(tool, "hierarchy_cache") and tool.hierarchy_cache is None:
                 tool.hierarchy_cache = self.hierarchy_cache
+            # Store-backed services get crash-safe embeds: GOSH tools
+            # checkpoint into the same store and resume interrupted runs.
+            if self.store is not None and hasattr(tool, "configure_checkpointing"):
+                tool.configure_checkpointing(
+                    self.store,
+                    every_rotations=self.checkpoint_every_rotations,
+                    auto_resume=self.auto_resume)
             self._tools[key] = tool
         return self._tools[key]
 
@@ -351,6 +371,12 @@ class EmbeddingService:
         (graph, tool, pin) and re-validated against the version directory,
         so batches do not re-scan manifests but a gc'd version is noticed
         and re-resolved instead of served blind.
+
+        Misses are **single-flight**: concurrent callers missing the same
+        (graph, tool) lineage elect one owner to embed; the rest wait on a
+        per-lineage latch (counted in ``embeds_deduped``) and serve the
+        owner's saved entry.  If the owner fails, a waiter claims ownership
+        and retries, so a transient failure does not strand the queue.
         """
         from ..store.store import StoreError
 
@@ -358,11 +384,55 @@ class EmbeddingService:
         tool = self.tool(name)
         fingerprint = graph.fingerprint()
         key = (fingerprint, tool.name, config_hash)
+        flight = (fingerprint, tool.name)
+        while True:
+            with self._serving_lock:
+                entry = self._resolve_entry_locked(store, tool, fingerprint,
+                                                   config_hash)
+            if entry is not None:
+                return entry, True
+            if config_hash is not None:
+                raise StoreError(
+                    f"no servable entry for pinned config {config_hash!r} "
+                    f"(graph {fingerprint[:12]}…, tool {tool.name!r}); drop the pin "
+                    "to embed-if-missing under the service configuration")
+            with self._miss_lock:
+                latch = self._inflight_embeds.get(flight)
+                if latch is None:
+                    self._inflight_embeds[flight] = threading.Event()
+                else:
+                    self.embeds_deduped += 1
+            if latch is not None:
+                # Another thread owns this miss: wait it out, then loop to
+                # re-resolve (or claim ownership if the owner failed).
+                latch.wait()
+                continue
+            try:
+                result = self.embed(tool, graph)
+                saved = store.save(result, fingerprint=fingerprint)
+                with self._serving_lock:
+                    self._entries[key] = saved
+                    self._trim_entry_memo()
+                # The run landed durably; its checkpoint lineage is spent.
+                if hasattr(tool, "sweep_checkpoints"):
+                    tool.sweep_checkpoints(fingerprint)
+                return saved, False
+            finally:
+                with self._miss_lock:
+                    done = self._inflight_embeds.pop(flight, None)
+                if done is not None:
+                    done.set()
+
+    def _resolve_entry_locked(self, store: "EmbeddingStore", tool: EmbeddingTool,
+                              fingerprint: str, config_hash: str | None,
+                              ) -> "StoreEntry | None":
+        """Memoised store lookup (no embed); call under the serving lock."""
+        key = (fingerprint, tool.name, config_hash)
         cached = self._entries.get(key)
         if cached is not None:
             if cached.path.is_dir():
                 self._entries.move_to_end(key)
-                return cached, True
+                return cached
             # The version vanished underneath us (gc or external cleanup):
             # drop it and any engines still mmapping its shards.
             del self._entries[key]
@@ -377,17 +447,7 @@ class EmbeddingService:
         if entry is not None:
             self._entries[key] = entry
             self._trim_entry_memo()
-            return entry, True
-        if config_hash is not None:
-            raise StoreError(
-                f"no servable entry for pinned config {config_hash!r} "
-                f"(graph {fingerprint[:12]}…, tool {tool.name!r}); drop the pin "
-                "to embed-if-missing under the service configuration")
-        result = self.embed(tool, graph)
-        saved = store.save(result, fingerprint=fingerprint)
-        self._entries[key] = saved
-        self._trim_entry_memo()
-        return saved, False
+        return entry
 
     #: Resolved-entry memo bound; entries are small (one manifest each) but
     #: a long-lived service over many graphs must not grow without limit.
@@ -469,23 +529,27 @@ class EmbeddingService:
         ``result.seconds`` is the *shared* wall-clock of its microbatch (the
         requests were answered together; the time is not apportioned).
 
-        Thread-safe entry point: the whole batch runs under the serving
-        lock, so a resident server may call it from a worker thread while
-        :meth:`stats` is read elsewhere.
+        Thread-safe entry point: store resolution (including a possible
+        embed-on-miss, which single-flights per lineage) runs *before* the
+        serving lock is taken, so a slow embed does not block concurrent
+        queries or :meth:`stats`; only the scoring runs under the lock.
         """
+        requests = list(requests)
+        resolved = [self.ensure_stored(r.tool, r.graph, config_hash=r.config_hash)
+                    for r in requests]
         with self._serving_lock:
-            return self._query_batch_locked(requests)
+            return self._query_batch_locked(requests, resolved)
 
-    def _query_batch_locked(self, requests: Iterable[QueryRequest]) -> list[QueryResponse]:
+    def _query_batch_locked(self, requests: list[QueryRequest],
+                            resolved: "list[tuple[StoreEntry, bool]]",
+                            ) -> list[QueryResponse]:
         from ..query.engine import QueryResult
 
-        requests = list(requests)
         responses: list[QueryResponse | None] = [None] * len(requests)
         groups: dict[object, list[int]] = {}
         prepared: list[tuple["StoreEntry", bool, "QueryEngine"]] = []
         for i, request in enumerate(requests):
-            entry, store_hit = self.ensure_stored(
-                request.tool, request.graph, config_hash=request.config_hash)
+            entry, store_hit = resolved[i]
             engine = self._engine_for(entry, metric=request.metric,
                                       backend=request.backend)
             prepared.append((entry, store_hit, engine))
@@ -544,6 +608,7 @@ class EmbeddingService:
                 "hierarchy_cache": self.hierarchy_cache.stats(),
                 "queries_served": self.queries_served,
                 "microbatches": self.microbatches,
+                "embeds_deduped": self.embeds_deduped,
                 "query_engines": len(self._engines),
                 "engine_cache": {
                     "entries": len(self._engines),

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..baselines.graphvite_like import GraphViteConfig, graphvite_embed
 from ..baselines.mile import MileConfig, mile_embed
+from ..embedding.checkpoint import CHECKPOINT_SUFFIX, CheckpointPolicy, latest_checkpoint
 from ..embedding.config import GoshConfig, get_config
 from ..embedding.gosh import GoshEmbedder
 from ..embedding.verse import VerseConfig, verse_embed
@@ -168,6 +169,39 @@ class GoshTool(BaseEmbeddingTool):
         suffix = _GOSH_SUFFIX.get(cfg.name, cfg.name)
         self.name = f"gosh-{suffix}"
         self.display_name = _GOSH_DISPLAY.get(cfg.name, f"Gosh-{cfg.name}")
+        # Checkpointing is opt-in via configure_checkpointing (wired by the
+        # EmbeddingService or the embed CLI); None means embed() runs bare.
+        self._ckpt_store = None
+        self._ckpt_every_rotations: int | None = None
+        self._ckpt_keep = 2
+        self._ckpt_auto_resume = True
+        self._ckpt_stop_event = None
+
+    # ------------------------------------------------------------------ #
+    def configure_checkpointing(self, store, *, every_rotations: int | None = None,
+                                keep: int = 2, auto_resume: bool = True,
+                                stop_event=None) -> None:
+        """Attach an :class:`~repro.store.EmbeddingStore` for crash safety.
+
+        ``every_rotations`` adds rotation-cadence checkpoints on partitioned
+        levels (``None``/0 = level boundaries only); ``keep`` bounds the
+        checkpoint versions retained; ``auto_resume`` makes the next
+        :meth:`embed` restart from the newest compatible checkpoint;
+        ``stop_event`` requests a graceful stop at the next boundary.
+        """
+        self._ckpt_store = store
+        self._ckpt_every_rotations = every_rotations
+        self._ckpt_keep = keep
+        self._ckpt_auto_resume = auto_resume
+        self._ckpt_stop_event = stop_event
+
+    def sweep_checkpoints(self, fingerprint: str) -> int:
+        """Drop this tool's checkpoint lineage for ``fingerprint`` (run done)."""
+        if self._ckpt_store is None:
+            return 0
+        removed = self._ckpt_store.gc(0, fingerprint=fingerprint,
+                                      tool=self.name + CHECKPOINT_SUFFIX)
+        return len(removed)
 
     def describe(self) -> str:
         cfg = self.config
@@ -220,7 +254,30 @@ class GoshTool(BaseEmbeddingTool):
             cache_hit = False
         self._emit(progress, "train", graph, levels=hierarchy.num_levels,
                    hierarchy_cache_hit=cache_hit)
-        result = embedder.embed(graph, hierarchy=hierarchy)
+        checkpoint = resume = None
+        if self._ckpt_store is not None:
+            fp = graph.fingerprint()
+            meta = cfg.metadata_echo()
+            # Write checkpoints only when asked for a cadence or when a stop
+            # event needs a boundary snapshot to land on; a store configured
+            # purely for auto-resume (the service default) must not turn
+            # every embed into extra store writes.
+            if (self._ckpt_every_rotations is not None
+                    or self._ckpt_stop_event is not None):
+                checkpoint = CheckpointPolicy(
+                    store=self._ckpt_store, fingerprint=fp, tool=self.name,
+                    metadata=meta, graph_name=graph.name,
+                    every_rotations=self._ckpt_every_rotations or None,
+                    keep=self._ckpt_keep, stop_event=self._ckpt_stop_event)
+            if self._ckpt_auto_resume:
+                resume = latest_checkpoint(self._ckpt_store, fp, self.name,
+                                           metadata=meta)
+                if resume is not None:
+                    self._emit(progress, "resume", graph,
+                               level=resume.level, rotation=resume.rotation,
+                               version=resume.entry.version)
+        result = embedder.embed(graph, hierarchy=hierarchy,
+                                checkpoint=checkpoint, resume=resume)
         # The embedder saw a pre-built hierarchy and reports coarsening as
         # free; patch the native result so `raw` tells the same story as the
         # envelope (build time on a miss, ~lookup time on a hit).

@@ -38,7 +38,10 @@ public library API — tools are resolved exclusively through the
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -56,6 +59,42 @@ __all__ = ["main", "build_parser"]
 
 #: Default root of the on-disk embedding store used by --save/export/query.
 DEFAULT_STORE_DIR = "embeddings"
+
+#: Exit code for a run killed by a deterministic injected fault (EX_SOFTWARE).
+EXIT_INJECTED_FAULT = 70
+
+
+@contextlib.contextmanager
+def _graceful_stop():
+    """Install SIGTERM/SIGINT handlers that request a cooperative stop.
+
+    Yields ``(stop_event, received_signals)``: handlers set the event and
+    record the signal number instead of killing the process, so the command
+    can drain (serve/route) or write a final checkpoint (embed) and exit
+    with ``128 + signum``.  Handlers are only installable from the main
+    thread; elsewhere (tests driving ``main()`` from a worker) the event
+    still works, signals just keep their default behaviour.  Previous
+    handlers are restored on exit.
+    """
+    stop = threading.Event()
+    received: list[int] = []
+
+    def handler(signum: int, frame) -> None:
+        received.append(signum)
+        stop.set()
+
+    installed: list[tuple[int, object]] = []
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                installed.append((sig, signal.signal(sig, handler)))
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+    try:
+        yield stop, received
+    finally:
+        for sig, previous in installed:
+            signal.signal(sig, previous)
 
 
 def _load_graph(source: str, *, seed: int = 0) -> CSRGraph:
@@ -105,17 +144,64 @@ def _resolve_tool(args: argparse.Namespace):
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
 def cmd_embed(args: argparse.Namespace) -> int:
+    from .embedding.checkpoint import TrainingInterrupted
+    from .faults import FAULTS, InjectedFault, UnknownFaultPointError, parse_fault_spec
+
     graph = _load_graph(args.graph, seed=args.seed)
     tool = _resolve_tool(args)
-    result = tool.embed(graph)
+    if args.inject_fault is not None:
+        try:
+            point, at = parse_fault_spec(args.inject_fault)
+        except (UnknownFaultPointError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+        FAULTS.arm(point, at=at)
+    checkpointing = args.resume or args.checkpoint_every is not None
+    with _graceful_stop() as (stop, received):
+        if checkpointing:
+            if not hasattr(tool, "configure_checkpointing"):
+                raise SystemExit(
+                    f"tool {tool.name!r} does not support checkpointing "
+                    "(GOSH variants only)")
+            tool.configure_checkpointing(
+                EmbeddingStore(args.store_dir),
+                every_rotations=args.checkpoint_every or None,
+                keep=args.checkpoint_keep, auto_resume=args.resume,
+                stop_event=stop)
+        try:
+            result = tool.embed(graph)
+        except TrainingInterrupted as exc:
+            print(f"interrupted: {exc}")
+            print(f"resume with: repro-gosh embed {args.graph} --resume "
+                  f"--store-dir {args.store_dir} (same tool/dim/seed flags)")
+            return 128 + received[0] if received else 1
+        except InjectedFault as exc:
+            print(f"injected fault: {exc}")
+            if checkpointing:
+                print(f"resume with: repro-gosh embed {args.graph} --resume "
+                      f"--store-dir {args.store_dir} (same tool/dim/seed flags)")
+            return EXIT_INJECTED_FAULT
+        finally:
+            FAULTS.disarm()
     np.save(args.output, result.embedding)
     if args.save:
         store = EmbeddingStore(args.store_dir)
         entry = store.save(result, graph=graph)
         print(f"stored: {entry.path} (version v{entry.version:04d}, "
               f"config {entry.config_hash})")
+    if checkpointing:
+        # The run landed durably (at least as the --output matrix); its
+        # checkpoint lineage is spent.
+        swept = tool.sweep_checkpoints(graph.fingerprint())
+        if swept:
+            print(f"swept {swept} spent checkpoint(s)")
     print(f"graph: {graph}")
     print(f"tool: {result.tool} — {tool.describe()}")
+    resumed = result.stats.get("resumed_from")
+    if resumed:
+        print(f"resumed from checkpoint v{resumed['version']:04d} "
+              f"(level {resumed['level']}, rotation {resumed['rotation']})")
+    if result.stats.get("checkpoints_saved"):
+        print(f"checkpoints saved: {result.stats['checkpoints_saved']}")
     for stage, seconds in result.timings.items():
         print(f"{stage}: {seconds:.3f}s")
     if "level_sizes" in result.stats:
@@ -130,6 +216,12 @@ def cmd_embed(args: argparse.Namespace) -> int:
               f"switches={large['submatrix_switches']} "
               f"({large['seconds']:.3f}s, {large['execution_mode']} execution, "
               f"pool stall {large['pool_stall_s']:.3f}s)")
+        if large.get("oom_retries"):
+            print(f"degraded {large['oom_retries']} time(s) under device OOM: "
+                  + "; ".join(
+                      f"P_GPU={d['resident_submatrices']}, "
+                      f"S_GPU={d['resident_sample_pools']}"
+                      for d in large.get("degradations", [])))
     print(f"embedding saved to {args.output} (shape {result.embedding.shape})")
     return 0
 
@@ -287,8 +379,6 @@ def _print_serving_stats(service: EmbeddingService) -> None:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    import time
-
     from .serve import QueryServer, ServerThread
 
     name = args.tool if args.tool else f"gosh-{args.config.strip().lower()}"
@@ -323,19 +413,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     address = handle.start()
     print(f"serving graph {args.graph!r} with tool {name!r} on {address} "
           f"(max_inflight={args.max_inflight}, queue_depth={args.queue_depth}, "
-          f"max_batch={args.max_batch}); Ctrl-C drains and exits")
+          f"max_batch={args.max_batch}); Ctrl-C/SIGTERM drains and exits")
     if handle.http_address is not None:
         print(f"HTTP front on http://{handle.http_address} "
               f"(POST /query, GET /stats, GET /ping)")
-    try:
-        if args.max_seconds is not None:
-            time.sleep(args.max_seconds)
-        else:
-            while True:
-                time.sleep(3600)
-    except KeyboardInterrupt:
+    with _graceful_stop() as (stop, received):
+        try:
+            stop.wait(args.max_seconds)
+        except KeyboardInterrupt:  # handler not installed (non-main thread)
+            pass
+    if received:
+        print(f"\nsignal {received[0]}: draining in-flight requests ...")
+    else:
         print("\ndraining in-flight requests ...")
-    handle.stop()
+    try:
+        handle.stop()
+    except TimeoutError as exc:
+        print(f"forced shutdown: {exc}")
+        return 1
     print(f"served {server.queries_answered} queries in {server.microbatches} "
           f"microbatch(es); {server.rejected_overload} overload rejection(s), "
           f"{server.query_errors} error(s)")
@@ -344,8 +439,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_route(args: argparse.Namespace) -> int:
-    import time
-
     from .serve import ShardRouter
 
     if bool(args.shards) == bool(args.backend_address):
@@ -397,19 +490,24 @@ def cmd_route(args: argparse.Namespace) -> int:
     ranges = ", ".join(f"[{lo},{hi})" for lo, hi
                        in router.backend._ranges[args.graph])
     print(f"router for graph {args.graph!r} on {address} "
-          f"(vertex ranges: {ranges}); Ctrl-C drains and exits")
+          f"(vertex ranges: {ranges}); Ctrl-C/SIGTERM drains and exits")
     if router.http_address is not None:
         print(f"HTTP front on http://{router.http_address} "
               f"(POST /query, GET /stats, GET /ping)")
-    try:
-        if args.max_seconds is not None:
-            time.sleep(args.max_seconds)
-        else:
-            while True:
-                time.sleep(3600)
-    except KeyboardInterrupt:
+    with _graceful_stop() as (stop, received):
+        try:
+            stop.wait(args.max_seconds)
+        except KeyboardInterrupt:  # handler not installed (non-main thread)
+            pass
+    if received:
+        print(f"\nsignal {received[0]}: draining in-flight requests ...")
+    else:
         print("\ndraining in-flight requests ...")
-    router.stop()
+    try:
+        router.stop()
+    except TimeoutError as exc:
+        print(f"forced shutdown: {exc}")
+        return 1
     server = router.server
     backend = router.backend
     print(f"routed {server.queries_answered} queries in {server.microbatches} "
@@ -528,6 +626,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_embed.add_argument("--save", action="store_true",
                          help="also save the result as a new version in the "
                               "embedding store (see --store-dir)")
+    p_embed.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="crash safety: checkpoint the run into the store "
+                              "every N rotations of a partitioned level (0: at "
+                              "level boundaries only); SIGTERM/Ctrl-C then "
+                              "writes a final checkpoint and exits 128+signum")
+    p_embed.add_argument("--checkpoint-keep", type=int, default=2, metavar="N",
+                         help="newest checkpoint versions retained per run")
+    p_embed.add_argument("--resume", action="store_true",
+                         help="resume from the newest compatible checkpoint in "
+                              "the store (same graph + configuration); "
+                              "bit-identical to an uninterrupted run")
+    p_embed.add_argument("--inject-fault", default=None, metavar="POINT[:N]",
+                         help="deterministic fault injection for recovery "
+                              "drills: crash at the N-th crossing of a named "
+                              "point (level-boundary, rotation-boundary, "
+                              "pool-producer, store-commit, device-oom); "
+                              f"exits {EXIT_INJECTED_FAULT}")
     add_store_option(p_embed)
     p_embed.set_defaults(func=cmd_embed)
 

@@ -1,0 +1,194 @@
+"""Checkpoint/resume for long embedding jobs — bit-exact crash recovery.
+
+A GOSH run is a deterministic walk over a schedule: levels coarsest→0, and —
+for levels on the partitioned engine — rotations 0…R-1 per level, where every
+random draw is keyed by content (``(seed, stream, rotation, pair)`` for the
+engine, ``seed + level`` for the in-memory trainer, and the coarsening is a
+deterministic simulation).  That makes a checkpoint nothing more than the
+embedding matrix plus a **cursor** ``(level, rotation)``: restart the walk at
+the cursor and every subsequent draw is the one the uninterrupted run would
+have made, so the resumed embedding is bit-identical — proven, not hoped,
+by ``tests/faults/test_checkpoint_resume.py``.
+
+Checkpoints are ordinary :class:`~repro.store.EmbeddingStore` versions (same
+atomic staging-dir commit, same manifests) in a **sibling lineage** named
+``<tool>.ckpt``, so they are crash-safe for free and can never be served as
+a finished embedding by ``latest(fingerprint, tool)``.  Cursor semantics:
+
+* ``(level=L, rotation=0)`` — the matrix as expanded *into* level ``L``;
+  level ``L`` has not trained yet.
+* ``(level=L, rotation=r>0)`` — level ``L`` on the partitioned engine with
+  ``r`` rotations complete.
+
+The cursor rides in ``metadata["checkpoint"]``, which the store's config
+hash excludes — every checkpoint of a run therefore lands in one lineage
+whose hash equals the final result's lineage hash, which is how
+:func:`latest_checkpoint` finds compatible checkpoints by hash alone (a
+checkpoint from different settings can never be resumed by accident).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.store import EmbeddingStore, StoreEntry
+
+__all__ = [
+    "CHECKPOINT_SUFFIX",
+    "CheckpointMismatchError",
+    "CheckpointPolicy",
+    "ResumeState",
+    "TrainingInterrupted",
+    "latest_checkpoint",
+]
+
+#: Appended to the tool name to form the checkpoint lineage's tool field.
+CHECKPOINT_SUFFIX = ".ckpt"
+
+
+class CheckpointMismatchError(RuntimeError):
+    """A checkpoint's cursor or shape contradicts the run being resumed.
+
+    Config hashes already gate resume to identical settings, so hitting this
+    means the *environment* drifted between runs — e.g. a level that trained
+    on the partitioned engine now fits in device memory, which would change
+    the draw schedule and silently break bit-exactness.
+    """
+
+
+class TrainingInterrupted(RuntimeError):
+    """Raised at a checkpoint boundary when a graceful stop was requested.
+
+    Carries the final checkpoint entry so the caller (the ``embed`` CLI's
+    SIGTERM path) can report where to resume from.
+    """
+
+    def __init__(self, entry: "StoreEntry | None", *, level: int, rotation: int):
+        where = f"level {level}" + (f", rotation {rotation}" if rotation else "")
+        saved = f"; checkpoint v{entry.version:04d} saved" if entry is not None else ""
+        super().__init__(f"training interrupted at {where}{saved}")
+        self.entry = entry
+        self.level = level
+        self.rotation = rotation
+
+
+@dataclass
+class ResumeState:
+    """A loaded checkpoint: the cursor plus the matrix to restart from."""
+
+    level: int
+    rotation: int
+    embedding: np.ndarray
+    entry: "StoreEntry"
+
+    def describe(self) -> str:
+        return (f"checkpoint v{self.entry.version:04d} "
+                f"(level {self.level}, rotation {self.rotation})")
+
+
+@dataclass
+class CheckpointPolicy:
+    """When and where to write checkpoints during one embedding run.
+
+    Parameters
+    ----------
+    store, fingerprint, tool, metadata:
+        The run's identity: checkpoints land in lineage
+        ``<fingerprint>-<hash(metadata)>-<tool>.ckpt`` under ``store``.
+        ``metadata`` must be the run's configuration echo (what the final
+        result will carry) so the hashes line up.
+    every_rotations:
+        Write a rotation checkpoint each time this many rotations of a
+        partitioned level complete (``None`` disables rotation checkpoints;
+        level-boundary checkpoints still apply).
+    at_level_boundaries:
+        Write a checkpoint after each level is expanded into the next.
+    keep:
+        Newest checkpoint versions retained per run (older ones are gc'd on
+        each save — a crashed run leaves at most ``keep`` matrices behind).
+    stop_event:
+        Cooperative cancellation: when set, the trainer saves a final
+        checkpoint at the next boundary and raises
+        :class:`TrainingInterrupted` (the CLI's SIGTERM/SIGINT path).
+    """
+
+    store: "EmbeddingStore"
+    fingerprint: str
+    tool: str
+    metadata: dict[str, object]
+    graph_name: str = "graph"
+    every_rotations: int | None = None
+    at_level_boundaries: bool = True
+    keep: int = 2
+    stop_event: threading.Event | None = None
+    saves: int = field(default=0, init=False)
+
+    @property
+    def lineage_tool(self) -> str:
+        return self.tool + CHECKPOINT_SUFFIX
+
+    def stop_requested(self) -> bool:
+        return self.stop_event is not None and self.stop_event.is_set()
+
+    def due_at_rotation(self, completed_rotations: int) -> bool:
+        return (self.every_rotations is not None and self.every_rotations > 0
+                and completed_rotations % self.every_rotations == 0)
+
+    def save(self, embedding: np.ndarray, *, level: int,
+             rotation: int) -> "StoreEntry":
+        """Commit one checkpoint version (atomic, like any store save)."""
+        from ..api.result import EmbeddingResult
+
+        result = EmbeddingResult(
+            embedding=np.ascontiguousarray(embedding, dtype=np.float32),
+            tool=self.lineage_tool,
+            graph=self.graph_name,
+            seconds=0.0,
+            stats={},
+            metadata={**self.metadata,
+                      "checkpoint": {"tool": self.tool, "level": int(level),
+                                     "rotation": int(rotation)}},
+        )
+        entry = self.store.save(result, fingerprint=self.fingerprint)
+        self.saves += 1
+        if self.keep > 0:
+            self.store.gc(self.keep, fingerprint=self.fingerprint,
+                          tool=self.lineage_tool)
+        return entry
+
+    def sweep(self) -> int:
+        """Drop the whole checkpoint lineage (the run finished durably)."""
+        removed = self.store.gc(0, fingerprint=self.fingerprint,
+                                tool=self.lineage_tool)
+        return len(removed)
+
+
+def latest_checkpoint(store: "EmbeddingStore", fingerprint: str, tool: str, *,
+                      metadata: dict[str, object]) -> ResumeState | None:
+    """The newest resumable checkpoint for this exact run configuration.
+
+    ``metadata`` is hashed the same way the final result's will be, pinning
+    the lookup to the matching checkpoint lineage; ``None`` when no
+    compatible checkpoint exists (a fresh run starts from scratch).
+    """
+    from ..store.store import config_hash
+
+    pin = config_hash(metadata)
+    entry = store.latest(fingerprint, tool + CHECKPOINT_SUFFIX, config_hash=pin)
+    if entry is None:
+        return None
+    cursor = entry.manifest.get("metadata", {}).get("checkpoint")
+    if not isinstance(cursor, dict):
+        return None
+    loaded = store.load_entry(entry)
+    return ResumeState(
+        level=int(cursor["level"]),
+        rotation=int(cursor.get("rotation", 0)),
+        embedding=np.ascontiguousarray(loaded.embedding, dtype=np.float32),
+        entry=entry,
+    )

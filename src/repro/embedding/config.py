@@ -89,6 +89,23 @@ class GoshConfig:
         """Convenience wrapper over :func:`dataclasses.replace`."""
         return replace(self, **kwargs)
 
+    def metadata_echo(self) -> dict[str, object]:
+        """The configuration echo stamped into result (and store) metadata.
+
+        One definition shared by :meth:`EmbeddingResult.from_gosh` and the
+        checkpoint layer: the store's config hash is computed over exactly
+        these keys, so a checkpoint written mid-run and the final result of
+        the same run land in lineages with the same hash — which is what lets
+        ``--resume`` find the right checkpoint lineage by hash alone.
+        """
+        return {
+            "config": self.name,
+            "dim": self.dim,
+            "epochs": self.epochs,
+            "learning_rate": self.learning_rate,
+            "seed": self.seed,
+        }
+
     def validate(self) -> None:
         if self.dim <= 0:
             raise ValueError("dim must be positive")

@@ -28,9 +28,11 @@ import numpy as np
 from ..coarsening.hierarchy import CoarseningHierarchy
 from ..coarsening.multi_edge_collapse import multi_edge_collapse
 from ..coarsening.parallel_collapse import parallel_multi_edge_collapse
+from ..faults import FAULTS
 from ..gpu.device import SimulatedDevice, embedding_fits_on_device
 from ..large.scheduler import LargeGraphConfig, LargeGraphStats, LargeGraphTrainer
 from ..graph.csr import CSRGraph
+from .checkpoint import CheckpointMismatchError, CheckpointPolicy, ResumeState, TrainingInterrupted
 from .config import GoshConfig, NORMAL
 from .epochs import distribute_epochs
 from .trainer import LevelTrainer, TrainingStats, init_embedding
@@ -51,6 +53,8 @@ class GoshResult:
     epochs_per_level: list[int] = field(default_factory=list)
     level_stats: list[TrainingStats] = field(default_factory=list)
     large_graph_stats: list[LargeGraphStats] = field(default_factory=list)
+    checkpoints_saved: int = 0
+    resumed_from: dict | None = None  # {"level", "rotation", "version"}
 
     @property
     def num_levels(self) -> int:
@@ -94,11 +98,22 @@ class GoshEmbedder:
 
     # ------------------------------------------------------------------ #
     def embed(self, graph: CSRGraph, *, epochs: int | None = None,
-              hierarchy: CoarseningHierarchy | None = None) -> GoshResult:
+              hierarchy: CoarseningHierarchy | None = None,
+              checkpoint: CheckpointPolicy | None = None,
+              resume: ResumeState | None = None) -> GoshResult:
         """Run the full pipeline and return the level-0 embedding.
 
         A pre-built ``hierarchy`` (e.g. from the :mod:`repro.api` hierarchy
         cache) skips stage 1 entirely; ``coarsening_seconds`` is then 0.
+
+        ``checkpoint`` snapshots the matrix + cursor into the store at level
+        boundaries and (optionally) every N rotations of a partitioned level;
+        ``resume`` restarts from such a snapshot.  Because every random draw
+        is keyed by content (seed, stream, rotation, pair) — never by wall
+        clock or call order — a resumed run is bit-identical to an
+        uninterrupted one.  Cursor semantics: ``(L, 0)`` is the matrix as
+        expanded *into* level ``L`` (untrained); ``(L, r > 0)`` means ``r``
+        rotations of partitioned level ``L`` are complete.
         """
         cfg = self.config
         total_start = perf_counter()
@@ -151,31 +166,91 @@ class GoshEmbedder:
         coarsest = hierarchy.coarsest()
         embedding = init_embedding(coarsest.num_vertices, cfg.dim, rng)
 
+        if resume is not None:
+            result.resumed_from = {"level": resume.level, "rotation": resume.rotation,
+                                   "version": resume.entry.version}
+
         # Lines 3–11: train from the coarsest level down to level 0.
         for level in hierarchy.training_order():
+            start_rotation = 0
+            if resume is not None:
+                if level > resume.level:
+                    # Already trained and expanded through this level in the
+                    # interrupted run; the checkpoint matrix carries it.
+                    continue
+                if level == resume.level:
+                    expected = hierarchy.level(level).num_vertices
+                    rows, rdim = resume.embedding.shape
+                    if rows != expected or rdim != cfg.dim:
+                        raise CheckpointMismatchError(
+                            f"checkpoint {resume.describe()} has shape "
+                            f"({rows}, {rdim}); level {level} needs "
+                            f"({expected}, {cfg.dim})")
+                    embedding = np.array(resume.embedding, dtype=np.float32, copy=True)
+                    start_rotation = resume.rotation
             level_graph = hierarchy.level(level)
             level_epochs = epochs_per_level[level]
             if level_epochs > 0:
                 if embedding_fits_on_device(level_graph.num_vertices, cfg.dim,
                                             level_graph.nbytes(), self.device):
+                    if start_rotation > 0:
+                        raise CheckpointMismatchError(
+                            f"checkpoint cursor (level={level}, rotation="
+                            f"{start_rotation}) points inside a partitioned "
+                            "level, but the level now fits in device memory "
+                            "— was the device or dim changed?")
                     stats = trainer.train(level_graph, embedding, level_epochs,
                                           level=level, base_lr=cfg.learning_rate)
                     result.level_stats.append(stats)
                 else:
+                    on_rotation = None
+                    if checkpoint is not None:
+                        on_rotation = self._make_rotation_hook(
+                            checkpoint, result, level, embedding)
                     lstats = large_trainer.train(level_graph, embedding, level_epochs,
-                                                 base_lr=cfg.learning_rate)
+                                                 base_lr=cfg.learning_rate, level=level,
+                                                 start_rotation=start_rotation,
+                                                 on_rotation=on_rotation)
                     result.large_graph_stats.append(lstats)
             if level > 0:
                 # Line 11: project M_i onto M_{i-1} through map_{i-1}.
                 embedding = hierarchy.expand(level, embedding)
+                if checkpoint is not None and (checkpoint.at_level_boundaries
+                                               or checkpoint.stop_requested()):
+                    entry = checkpoint.save(embedding, level=level - 1, rotation=0)
+                    result.checkpoints_saved += 1
+                    if checkpoint.stop_requested():
+                        raise TrainingInterrupted(entry, level=level - 1, rotation=0)
+            FAULTS.crossing("level-boundary", level=level)
 
         result.embedding = embedding
         result.training_seconds = perf_counter() - training_start
         result.total_seconds = perf_counter() - total_start
         return result
 
+    @staticmethod
+    def _make_rotation_hook(checkpoint: CheckpointPolicy, result: GoshResult,
+                            level: int, matrix: np.ndarray):
+        """Per-level rotation callback: cadence checkpoints + graceful stop.
+
+        The large trainer calls this with the host matrix already synced
+        (see ``GPUState.sync_to_host``), so ``matrix`` is snapshot-safe.
+        """
+        def on_rotation(completed: int) -> None:
+            if checkpoint.stop_requested():
+                entry = checkpoint.save(matrix, level=level, rotation=completed)
+                result.checkpoints_saved += 1
+                raise TrainingInterrupted(entry, level=level, rotation=completed)
+            if checkpoint.due_at_rotation(completed):
+                checkpoint.save(matrix, level=level, rotation=completed)
+                result.checkpoints_saved += 1
+        return on_rotation
+
 
 def embed(graph: CSRGraph, config: GoshConfig | None = None, *,
-          device: SimulatedDevice | None = None, epochs: int | None = None) -> GoshResult:
+          device: SimulatedDevice | None = None, epochs: int | None = None,
+          checkpoint: CheckpointPolicy | None = None,
+          resume: ResumeState | None = None) -> GoshResult:
     """One-call convenience API: ``repro.embed(graph, config)``."""
-    return GoshEmbedder(config=config, device=device).embed(graph, epochs=epochs)
+    return GoshEmbedder(config=config, device=device).embed(
+        graph, epochs=epochs, checkpoint=checkpoint, resume=resume)

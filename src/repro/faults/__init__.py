@@ -1,0 +1,34 @@
+"""repro.faults — deterministic fault injection for the training pipeline.
+
+Named injection points (``level-boundary``, ``rotation-boundary``,
+``pool-producer``, ``store-commit``, ``device-oom``) threaded through the
+trainer, the pipeline executors, the simulated device, and the store.  Tests
+and the ``embed --inject-fault point:n`` CLI knob arm a point on the
+process-wide :data:`FAULTS` registry to raise at its n-th crossing; see
+:mod:`repro.faults.registry` for the exact placement of every point.
+
+Quickstart::
+
+    from repro.faults import FAULTS
+
+    with FAULTS.armed("rotation-boundary:2"):
+        tool.embed(graph)        # raises InjectedFault at the 2nd boundary
+"""
+
+from .registry import (
+    FAULT_POINTS,
+    FAULTS,
+    FaultRegistry,
+    InjectedFault,
+    UnknownFaultPointError,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULTS",
+    "FaultRegistry",
+    "InjectedFault",
+    "UnknownFaultPointError",
+    "parse_fault_spec",
+]

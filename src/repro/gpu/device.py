@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults import FAULTS
+
 __all__ = ["DeviceSpec", "DeviceMemoryError", "DeviceBuffer", "SimulatedDevice", "TITAN_X"]
 
 
@@ -112,6 +114,10 @@ class SimulatedDevice:
                  *, name: str = "buffer") -> DeviceBuffer:
         """Allocate a zero-initialised device buffer or raise ``DeviceMemoryError``."""
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        # Armed 'device-oom' raises DeviceMemoryError here — the same error,
+        # from the same frame, as a genuinely full device — so the trainer's
+        # degradation path is tested against the production failure shape.
+        FAULTS.crossing("device-oom", name=name, nbytes=nbytes)
         if not self.can_allocate(nbytes):
             raise DeviceMemoryError(
                 f"cannot allocate {nbytes} bytes for {name!r}: "

@@ -136,6 +136,34 @@ class GPUState:
                 best_bin, best_score = bin_index, score
         return best_bin
 
+    def sync_to_host(self) -> None:
+        """Write every resident sub-matrix back without evicting it.
+
+        The checkpoint path: at a rotation boundary the host matrix must
+        reflect all device-side updates before it is snapshotted, but the
+        resident parts stay resident (the device copies remain authoritative
+        and simply overwrite the same host rows again on eviction), so a
+        checkpointed run stays bit-identical to an uncheckpointed one.
+        """
+        for part, buf in zip(self.bins, self.buffers):
+            if part >= 0 and buf is not None:
+                self.embedding[self.parts[part]] = self.device.download(buf)
+
+    def release(self) -> None:
+        """Free every resident buffer *without* write-back (failed attempt).
+
+        The degradation path: after a ``DeviceMemoryError`` the trainer
+        restores the host matrix from its entry snapshot and retries with a
+        smaller footprint — writing half-trained sub-matrices back first
+        would corrupt that restore point, so this drops them.
+        """
+        for bin_index in range(self.num_bins):
+            buf = self.buffers[bin_index]
+            if buf is not None:
+                buf.free()
+            self.bins[bin_index] = -1
+            self.buffers[bin_index] = None
+
     def flush(self) -> None:
         """Write every resident sub-matrix back to the host (end of training)."""
         for bin_index in range(self.num_bins):

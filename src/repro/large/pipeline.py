@@ -44,6 +44,7 @@ from time import perf_counter
 
 import numpy as np
 
+from ..faults import FAULTS
 from ..graph.partition import VertexPartition
 from .sample_pool import SamplePool, SamplePoolManager
 
@@ -262,6 +263,7 @@ class SequentialExecutor:
             if e.rotation != entry.rotation:
                 break
             upcoming.append(e.pair)
+        FAULTS.crossing("pool-producer", rotation=entry.rotation, pair=entry.pair)
         self.manager.prefetch(upcoming, rotation=entry.rotation)
         pool = self.manager.acquire(*entry.pair, rotation=entry.rotation)
         ready = self.preparer.ready(entry, pool)
@@ -316,6 +318,12 @@ class PipelinedExecutor:
                 if self._stop.is_set():
                     return
                 t0 = perf_counter()
+                # Crosses on the producer thread; an injected fault travels
+                # the _ProducerFailure envelope and re-raises at the
+                # consumer's next pop — exactly how a real producer-side
+                # crash (bad sampler, index corruption) would surface.
+                FAULTS.crossing("pool-producer", rotation=entry.rotation,
+                                pair=entry.pair)
                 pool = self.manager.build_pool(*entry.pair, rotation=entry.rotation)
                 ready = self.preparer.ready(entry, pool)
                 now = perf_counter()

@@ -25,15 +25,18 @@ order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Callable
 
 import numpy as np
 
+from ..faults import FAULTS
 from ..graph.csr import CSRGraph
 from ..graph.partition import compute_num_parts, contiguous_partition
 from ..gpu.backends import get_backend
-from ..gpu.device import SimulatedDevice
+from ..gpu.device import DeviceMemoryError, SimulatedDevice
 from ..gpu.streams import StreamTimeline
 from ..gpu.warp import WarpConfig
 from .gpu_state import GPUState
@@ -67,6 +70,14 @@ class LargeGraphConfig:
     execution_mode: str = DEFAULT_EXECUTION_MODE  # pool production (see repro.large.pipeline)
     seed: int = 0
     min_parts: int | None = None         # force K >= min_parts (tests / figure 3)
+    # Graceful degradation under DeviceMemoryError: halve the resident
+    # footprint (P_GPU bins, S_GPU queue slots) and retry with bounded
+    # exponential backoff instead of dying.  The *partition* (K) is always
+    # computed from the configured P_GPU, so a degraded run walks the same
+    # schedule and draws the same streams — degradation is bit-neutral.
+    max_oom_retries: int = 8
+    oom_backoff_base_s: float = 0.05
+    oom_backoff_max_s: float = 2.0
 
 
 @dataclass
@@ -85,6 +96,11 @@ class LargeGraphStats:
     max_ready_pools: int = 0           # peak ready-queue depth observed
     timeline: StreamTimeline = field(default_factory=StreamTimeline)
     pipeline: PipelineStats | None = None  # per-pool produce/consume events
+    start_rotation: int = 0            # first rotation executed (resume cursor)
+    oom_retries: int = 0               # attempts lost to DeviceMemoryError
+    # One record per degradation step: the error, the halved footprint the
+    # retry ran with, and the backoff it waited (see LargeGraphConfig).
+    degradations: list[dict] = field(default_factory=list)
 
 
 class LargeGraphTrainer:
@@ -95,8 +111,18 @@ class LargeGraphTrainer:
         self.config = config or LargeGraphConfig()
 
     def train(self, graph: CSRGraph, embedding: np.ndarray, epochs: int, *,
-              base_lr: float | None = None) -> LargeGraphStats:
-        """Train ``embedding`` in place for (approximately) ``epochs`` epochs."""
+              base_lr: float | None = None, level: int = 0,
+              start_rotation: int = 0,
+              on_rotation: Callable[[int], None] | None = None) -> LargeGraphStats:
+        """Train ``embedding`` in place for (approximately) ``epochs`` epochs.
+
+        ``start_rotation`` skips rotations already completed by a checkpointed
+        run: the schedule entries keep their true rotation numbers, so every
+        content-keyed draw and the LR decay match the uninterrupted run
+        bit-for-bit.  ``on_rotation(completed)`` fires after each rotation
+        with the host matrix synced (see :meth:`GPUState.sync_to_host`) — the
+        checkpoint hook.  ``level`` only labels fault-injection crossings.
+        """
         cfg = self.config
         n, dim = embedding.shape
         if n != graph.num_vertices:
@@ -104,6 +130,10 @@ class LargeGraphTrainer:
         lr0 = cfg.learning_rate if base_lr is None else base_lr
 
         # --- Line 1: GetEmbeddingPartInfo -------------------------------- #
+        # K is ALWAYS computed from the configured P_GPU, never a degraded
+        # one: changing K would change the partition, the schedule, and every
+        # keyed draw — breaking bit-exact resume.  Degradation only shrinks
+        # the resident footprint below.
         k = compute_num_parts(
             n, dim, embedding.dtype.itemsize, self.device.spec.memory_bytes,
             resident_parts=cfg.resident_submatrices,
@@ -115,78 +145,144 @@ class LargeGraphTrainer:
 
         B = cfg.positive_batch_per_vertex
         rotations = max(1, int(np.ceil(epochs / (B * k))))
+        if not 0 <= start_rotation <= rotations:
+            raise ValueError(
+                f"start_rotation={start_rotation} outside [0, {rotations}]")
 
+        order = inside_out_order(k)
+        schedule = [e for e in build_schedule(rotations, order)
+                    if e.rotation >= start_rotation]
+
+        # Snapshot the matrix at entry: a failed (OOM) attempt may have
+        # flushed partial updates nowhere, but the host rows of evicted parts
+        # can already differ — restore before every retry.
+        entry_state = embedding.copy()
+        p_gpu = cfg.resident_submatrices
+        s_gpu = cfg.resident_sample_pools
+        degradations: list[dict] = []
+        attempt = 0
+        while True:
+            stats = LargeGraphStats(
+                num_parts=k, rotations=rotations, start_rotation=start_rotation,
+                execution_mode=normalize_execution_mode(cfg.execution_mode))
+            t0 = perf_counter()
+            try:
+                self._run(graph, embedding, partition, schedule, order,
+                          rotations, lr0, p_gpu, s_gpu, stats,
+                          level=level, on_rotation=on_rotation)
+            except DeviceMemoryError as exc:
+                new_p = max(2, p_gpu // 2)
+                new_s = max(1, s_gpu // 2)
+                if (new_p, new_s) == (p_gpu, s_gpu) or attempt >= cfg.max_oom_retries:
+                    raise
+                delay = min(cfg.oom_backoff_base_s * (2 ** attempt),
+                            cfg.oom_backoff_max_s)
+                degradations.append({
+                    "attempt": attempt,
+                    "error": str(exc),
+                    "resident_submatrices": new_p,
+                    "resident_sample_pools": new_s,
+                    "backoff_s": delay,
+                })
+                p_gpu, s_gpu = new_p, new_s
+                embedding[...] = entry_state
+                attempt += 1
+                time.sleep(delay)
+                continue
+            stats.oom_retries = attempt
+            stats.degradations = degradations
+            stats.seconds = perf_counter() - t0
+            return stats
+
+    def _run(self, graph: CSRGraph, embedding: np.ndarray, partition,
+             schedule, order, rotations: int, lr0: float,
+             p_gpu: int, s_gpu: int, stats: LargeGraphStats, *,
+             level: int, on_rotation: Callable[[int], None] | None) -> None:
+        """One attempt over ``schedule`` with the given resident footprint."""
+        cfg = self.config
+        dim = embedding.shape[1]
         pools = SamplePoolManager(
             graph=graph, partition=partition,
-            batch_per_vertex=B, max_resident_pools=cfg.resident_sample_pools,
+            batch_per_vertex=cfg.positive_batch_per_vertex,
+            max_resident_pools=s_gpu,
             seed=cfg.seed, sampler_backend=cfg.sampler_backend,
         )
         state = GPUState(embedding=embedding, parts=partition.parts,
-                         device=self.device, num_bins=cfg.resident_submatrices)
+                         device=self.device, num_bins=p_gpu)
         warp_config = WarpConfig(dim=dim, small_dim_mode=cfg.small_dim_mode)
-        stats = LargeGraphStats(num_parts=k, rotations=rotations,
-                                execution_mode=normalize_execution_mode(cfg.execution_mode))
         backend = get_backend(cfg.kernel_backend)
         # One partition-wide global→local lookup array, built once and cached
         # on the partition, replaces the per-kernel-call dict index maps.
         g2l = partition.global_to_local()
         preparer = PoolPreparer(partition, backend, g2l,
                                 cfg.negative_samples, cfg.seed)
-
-        order = inside_out_order(k)
-        schedule = build_schedule(rotations, order)
         pcie_bytes_per_second = self.device.spec.pcie_gbps * 1e9
-        t0 = perf_counter()
+        last_index = len(order) - 1
         executor = create_executor(cfg.execution_mode, pools, preparer,
-                                   schedule, cfg.resident_sample_pools)
-        with executor:
-            for entry in schedule:
-                # Learning rate decays across rotations the way it decays
-                # across epochs in the in-memory trainer.
-                lr = lr0 * max(1.0 - entry.rotation / rotations, cfg.lr_decay_floor)
-                a, b = entry.pair
-                upcoming = order[entry.pair_index + 1:]
-                state.ensure_pair(a, b, upcoming=upcoming)
-                ready = executor.next_ready()
-                pool = ready.pool
+                                   schedule, s_gpu)
+        try:
+            with executor:
+                for entry in schedule:
+                    # Learning rate decays across rotations the way it decays
+                    # across epochs in the in-memory trainer.
+                    lr = lr0 * max(1.0 - entry.rotation / rotations, cfg.lr_decay_floor)
+                    a, b = entry.pair
+                    upcoming = order[entry.pair_index + 1:]
+                    state.ensure_pair(a, b, upcoming=upcoming)
+                    ready = executor.next_ready()
+                    pool = ready.pool
 
-                # Ship the pool: an H2D copy on the simulated timeline, so
-                # serial_makespan prices transfers, not just kernels.
-                stats.timeline.record_copy(pool.nbytes() / pcie_bytes_per_second,
-                                           label=f"pool({a},{b})", direction="h2d")
+                    # Ship the pool: an H2D copy on the simulated timeline, so
+                    # serial_makespan prices transfers, not just kernels.
+                    stats.timeline.record_copy(pool.nbytes() / pcie_bytes_per_second,
+                                               label=f"pool({a},{b})", direction="h2d")
 
-                sub = {a: state.submatrix(a)}
-                sub[b] = state.submatrix(b) if b != a else sub[a]
-                t_kernel = perf_counter()
-                for direction in ready.directions:
-                    extra = {} if direction.plan is None else {"plan": direction.plan}
-                    backend.train_pair(
-                        partition.parts[direction.from_part],
-                        partition.parts[direction.to_part],
-                        sub[direction.from_part], sub[direction.to_part],
-                        direction.src, direction.dst,
-                        cfg.negative_samples, lr, ready.rng,
-                        device=self.device, warp_config=warp_config,
-                        index_a=g2l, index_b=g2l, **extra,
-                    )
-                kernel_seconds = perf_counter() - t_kernel
-                stats.timeline.record_kernel(kernel_seconds, label=f"pair({a},{b})",
-                                             wait_for_copies=(entry.pair_index == 0))
-                stats.kernels += 1
-                stats.positive_samples += pool.num_samples
-        state.flush()
+                    sub = {a: state.submatrix(a)}
+                    sub[b] = state.submatrix(b) if b != a else sub[a]
+                    t_kernel = perf_counter()
+                    for direction in ready.directions:
+                        extra = {} if direction.plan is None else {"plan": direction.plan}
+                        backend.train_pair(
+                            partition.parts[direction.from_part],
+                            partition.parts[direction.to_part],
+                            sub[direction.from_part], sub[direction.to_part],
+                            direction.src, direction.dst,
+                            cfg.negative_samples, lr, ready.rng,
+                            device=self.device, warp_config=warp_config,
+                            index_a=g2l, index_b=g2l, **extra,
+                        )
+                    kernel_seconds = perf_counter() - t_kernel
+                    stats.timeline.record_kernel(kernel_seconds, label=f"pair({a},{b})",
+                                                 wait_for_copies=(entry.pair_index == 0))
+                    stats.kernels += 1
+                    stats.positive_samples += pool.num_samples
+                    if entry.pair_index == last_index:
+                        completed = entry.rotation + 1
+                        if on_rotation is not None:
+                            state.sync_to_host()
+                            on_rotation(completed)
+                        FAULTS.crossing("rotation-boundary",
+                                        level=level, rotation=completed)
+            state.flush()
+        except BaseException:
+            # Free device memory without write-back: the caller restores the
+            # host matrix from its entry snapshot before any retry.
+            state.release()
+            raise
         stats.submatrix_switches = state.switches
-        stats.seconds = perf_counter() - t0
         stats.pipeline = executor.stats
         stats.pool_stall_seconds = executor.stats.stall_seconds
         stats.pool_produce_seconds = executor.stats.produce_seconds
         stats.max_ready_pools = executor.stats.max_queue_depth
-        return stats
 
 
 def train_large_graph(graph: CSRGraph, embedding: np.ndarray, epochs: int,
                       device: SimulatedDevice, *,
                       config: LargeGraphConfig | None = None,
-                      base_lr: float | None = None) -> LargeGraphStats:
+                      base_lr: float | None = None, level: int = 0,
+                      start_rotation: int = 0,
+                      on_rotation: Callable[[int], None] | None = None) -> LargeGraphStats:
     """Functional wrapper over :class:`LargeGraphTrainer`."""
-    return LargeGraphTrainer(device, config).train(graph, embedding, epochs, base_lr=base_lr)
+    return LargeGraphTrainer(device, config).train(
+        graph, embedding, epochs, base_lr=base_lr, level=level,
+        start_rotation=start_rotation, on_rotation=on_rotation)

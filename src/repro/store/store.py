@@ -40,6 +40,8 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
+from ..faults import FAULTS, InjectedFault
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.result import EmbeddingResult
     from ..graph.csr import CSRGraph
@@ -52,7 +54,16 @@ MANIFEST_FORMAT = 1
 #: Metadata keys that describe provenance rather than configuration; they are
 #: excluded from the config hash so saving a loaded result (whose metadata
 #: carries store bookkeeping) hashes the same as saving the original.
-_NON_CONFIG_KEYS = frozenset({"graph_fingerprint", "store"})
+#: ``checkpoint`` is the resume cursor (level, rotation) stamped by the
+#: checkpoint layer — provenance of one save, not configuration, so every
+#: checkpoint of a run shares a lineage whose hash matches the final result's.
+_NON_CONFIG_KEYS = frozenset({"graph_fingerprint", "store", "checkpoint"})
+
+#: How old a ``.tmp-*`` staging dir (or a manifest-less version dir) must be
+#: before :meth:`EmbeddingStore.gc` sweeps it as crash debris.  Generous by
+#: default: a *live* writer's staging dir looks identical to a leaked one,
+#: and no legitimate save stages for an hour.
+DEFAULT_STAGING_GRACE_S = 3600.0
 
 
 class StoreError(KeyError):
@@ -146,16 +157,26 @@ class EmbeddingStore:
         Rows per ``.npy`` shard.  ``None`` (default) writes one shard, which
         is what keeps ``load(mmap=True)`` zero-copy; set it to bound the size
         of individual files for very large matrices.
+    staging_grace_s:
+        Minimum age before :meth:`gc` sweeps leaked ``.tmp-*`` staging dirs
+        and manifest-less version dirs (a writer killed mid-save leaves
+        both).  The default is deliberately long — see
+        :data:`DEFAULT_STAGING_GRACE_S`; crash-recovery tests pass ``0``.
     """
 
-    def __init__(self, root: str | os.PathLike, *, shard_rows: int | None = None):
+    def __init__(self, root: str | os.PathLike, *, shard_rows: int | None = None,
+                 staging_grace_s: float = DEFAULT_STAGING_GRACE_S):
         if shard_rows is not None and shard_rows < 1:
             raise ValueError("shard_rows must be >= 1 (or None for a single shard)")
+        if staging_grace_s < 0:
+            raise ValueError("staging_grace_s must be >= 0")
         self.root = Path(root)
         self.shard_rows = shard_rows
+        self.staging_grace_s = staging_grace_s
         self.saves = 0
         self.loads = 0
         self.gc_removed = 0
+        self.staging_swept = 0
 
     # ------------------------------------------------------------------ #
     # Saving
@@ -197,6 +218,7 @@ class EmbeddingStore:
             # the same lineage, the loser's rename fails on the existing
             # version dir and retries as the next version (only the manifest
             # mentions the version, so the shards are written once).
+            FAULTS.crossing("store-commit", lineage=lineage.name)
             for _ in range(50):
                 version = self._next_version(lineage)
                 manifest = {
@@ -227,8 +249,12 @@ class EmbeddingStore:
             else:
                 raise RuntimeError(
                     f"could not claim a version under {lineage} after 50 attempts")
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
+        except BaseException as exc:
+            # An injected store-commit fault models a writer SIGKILLed at the
+            # commit point — no cleanup runs, the staging dir leaks, and gc()
+            # must sweep it (tests/store/test_crash_recovery.py).
+            if not (isinstance(exc, InjectedFault) and exc.leaves_partial_state):
+                shutil.rmtree(staging, ignore_errors=True)
             raise
         self.saves += 1
         return StoreEntry(fingerprint=fingerprint, config_hash=cfg_hash,
@@ -386,11 +412,16 @@ class EmbeddingStore:
         """Keep the newest ``keep_n`` versions of every matching lineage.
 
         ``fingerprint``/``tool`` scope the collection (unscoped gc walks the
-        whole store).  Returns the removed entries (for logging);
-        ``keep_n=0`` empties the matching lineages.
+        whole store).  Also sweeps crash debris — ``.tmp-*`` staging dirs and
+        half-written (manifest-less) version dirs older than the store's
+        ``staging_grace_s`` — from the matching lineages; a writer SIGKILLed
+        mid-save no longer leaks its staging dir forever.  Returns the
+        removed entries (for logging); ``keep_n=0`` empties the matching
+        lineages.
         """
         if keep_n < 0:
             raise ValueError("keep_n must be >= 0")
+        self.sweep_staging(fingerprint=fingerprint, tool=tool)
         by_lineage: dict[tuple[str, str, str], list[StoreEntry]] = {}
         for entry in self.list(fingerprint, tool):
             by_lineage.setdefault(entry.key, []).append(entry)
@@ -406,6 +437,59 @@ class EmbeddingStore:
         self.gc_removed += len(removed)
         return removed
 
+    def _matching_lineage_dirs(self, fingerprint: str | None,
+                               tool: str | None) -> "Iterable[Path]":
+        """Lineage dirs matching the gc scope, manifests not required."""
+        if not self.root.is_dir():
+            return
+        for lineage in sorted(self.root.iterdir()):
+            if not lineage.is_dir() or lineage.name.startswith("."):
+                continue
+            if fingerprint is not None and not lineage.name.startswith(f"{fingerprint}-"):
+                continue
+            if tool is not None and not lineage.name.endswith(f"-{tool}"):
+                continue
+            yield lineage
+
+    @staticmethod
+    def _staging_debris(lineage: Path) -> "Iterable[Path]":
+        """Crash leftovers in one lineage: staging dirs, half-written versions."""
+        for child in lineage.iterdir():
+            if not child.is_dir():
+                continue
+            if child.name.startswith(".tmp-"):
+                yield child
+            elif (child.name.startswith("v") and child.name[1:].isdigit()
+                  and not (child / "manifest.json").is_file()):
+                yield child
+
+    def sweep_staging(self, *, fingerprint: str | None = None,
+                      tool: str | None = None,
+                      grace_s: float | None = None) -> list[Path]:
+        """Remove crash debris older than the grace period; return the paths.
+
+        Debris is a ``.tmp-*`` staging dir (writer died before its rename)
+        or a version dir without a manifest (half-written by a pre-staging
+        writer or an interrupted copy).  ``load``/``latest``/``list`` already
+        ignore both; this reclaims the bytes.  Lineage dirs emptied by the
+        sweep are removed too.
+        """
+        cutoff = time.time() - (self.staging_grace_s if grace_s is None else grace_s)
+        swept: list[Path] = []
+        for lineage in self._matching_lineage_dirs(fingerprint, tool):
+            for debris in list(self._staging_debris(lineage)):
+                try:
+                    if debris.stat().st_mtime > cutoff:
+                        continue
+                except OSError:       # raced with another sweeper
+                    continue
+                shutil.rmtree(debris, ignore_errors=True)
+                swept.append(debris)
+            if swept and lineage.is_dir() and not any(lineage.iterdir()):
+                lineage.rmdir()
+        self.staging_swept += len(swept)
+        return swept
+
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
@@ -418,6 +502,8 @@ class EmbeddingStore:
         :meth:`list` does.
         """
         entries = lineages = nbytes = 0
+        staging = stale_staging = 0
+        cutoff = time.time() - self.staging_grace_s
         if self.root.is_dir():
             for lineage in self.root.iterdir():
                 if not lineage.is_dir() or lineage.name.startswith("."):
@@ -431,6 +517,12 @@ class EmbeddingStore:
                     nbytes += sum(f.stat().st_size
                                   for f in vdir.glob("embedding-*.npy"))
                 lineages += had_version
+                for debris in self._staging_debris(lineage):
+                    staging += 1
+                    try:
+                        stale_staging += debris.stat().st_mtime <= cutoff
+                    except OSError:
+                        pass
         return {
             "root": str(self.root),
             "entries": entries,
@@ -439,6 +531,9 @@ class EmbeddingStore:
             "saves": self.saves,
             "loads": self.loads,
             "gc_removed": self.gc_removed,
+            "staging_dirs": staging,
+            "stale_staging_dirs": stale_staging,
+            "staging_swept": self.staging_swept,
         }
 
 

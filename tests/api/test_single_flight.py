@@ -1,0 +1,152 @@
+"""Single-flight embed-on-miss: concurrent misses elect one owner.
+
+A traffic spike on a cold lineage used to fan out into N identical training
+runs racing to save N identical versions.  ``EmbeddingService.ensure_stored``
+now latches each in-flight (graph, tool) miss: one thread embeds, the rest
+wait and serve the owner's saved entry, counted in ``embeds_deduped``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import EmbeddingService
+
+
+@pytest.fixture
+def service(tmp_path):
+    return EmbeddingService(dim=8, epoch_scale=0.02, store=tmp_path)
+
+
+def run_workers(service, graph, n):
+    """Call ensure_stored from ``n`` threads; return (results, errors)."""
+    results: list[object] = [None] * n
+    errors: list[BaseException | None] = [None] * n
+
+    def worker(i):
+        try:
+            results[i] = service.ensure_stored("gosh-fast", graph)
+        except BaseException as exc:  # noqa: BLE001 — surfaced in asserts
+            errors[i] = exc
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    return threads, results, errors
+
+
+def wait_for(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("timed out waiting for condition")
+        time.sleep(0.005)
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_embed_once(self, service, small_power_graph):
+        real_embed = service.embed
+        started = threading.Event()
+        release = threading.Event()
+        calls: list[str] = []
+
+        def slow_embed(tool, graph, **kwargs):
+            calls.append(tool.name)
+            started.set()
+            assert release.wait(20)
+            return real_embed(tool, graph, **kwargs)
+
+        service.embed = slow_embed
+        threads, results, errors = run_workers(service, small_power_graph, 2)
+        threads[0].start()
+        wait_for(started.is_set)          # the owner is inside embed()
+        threads[1].start()
+        wait_for(lambda: service.embeds_deduped == 1)  # the waiter latched
+        release.set()
+        for t in threads:
+            t.join(30)
+        assert errors == [None, None]
+        assert calls == ["gosh-fast"]     # exactly one training run
+        (e0, hit0), (e1, hit1) = results
+        assert e0.version == e1.version == 1
+        assert sorted([hit0, hit1]) == [False, True]
+        assert service.stats()["embeds_deduped"] == 1
+
+    def test_waiter_claims_ownership_when_owner_fails(self, service,
+                                                      small_power_graph):
+        """A transient owner failure must not strand the queue."""
+        real_embed = service.embed
+        started = threading.Event()
+        release = threading.Event()
+        attempts: list[int] = []
+
+        def flaky_embed(tool, graph, **kwargs):
+            attempts.append(len(attempts))
+            if len(attempts) == 1:
+                started.set()
+                assert release.wait(20)
+                raise RuntimeError("transient embed failure")
+            return real_embed(tool, graph, **kwargs)
+
+        service.embed = flaky_embed
+        threads, results, errors = run_workers(service, small_power_graph, 2)
+        threads[0].start()
+        wait_for(started.is_set)
+        threads[1].start()
+        wait_for(lambda: service.embeds_deduped == 1)
+        release.set()
+        for t in threads:
+            t.join(30)
+        # The first worker surfaced the failure; the second took over,
+        # re-embedded, and saved the lineage.
+        raised = [e for e in errors if e is not None]
+        assert len(raised) == 1 and "transient" in str(raised[0])
+        succeeded = [r for r in results if r is not None]
+        assert len(succeeded) == 1
+        entry, store_hit = succeeded[0]
+        assert entry.version == 1 and store_hit is False
+        assert len(attempts) == 2
+
+    def test_sequential_misses_do_not_count_as_deduped(self, service,
+                                                       small_power_graph):
+        entry1, hit1 = service.ensure_stored("gosh-fast", small_power_graph)
+        entry2, hit2 = service.ensure_stored("gosh-fast", small_power_graph)
+        assert (hit1, hit2) == (False, True)
+        assert entry1.version == entry2.version
+        assert service.embeds_deduped == 0
+
+    def test_distinct_lineages_fly_independently(self, service,
+                                                 small_power_graph):
+        """Two different tools missing at once are not serialized."""
+        real_embed = service.embed
+        in_flight = threading.Semaphore(0)
+        release = threading.Event()
+
+        def gated_embed(tool, graph, **kwargs):
+            in_flight.release()
+            assert release.wait(20)
+            return real_embed(tool, graph, **kwargs)
+
+        service.embed = gated_embed
+        results, errors = [None, None], [None, None]
+
+        def worker(i, name):
+            try:
+                results[i] = service.ensure_stored(name, small_power_graph)
+            except BaseException as exc:  # noqa: BLE001
+                errors[i] = exc
+
+        threads = [threading.Thread(target=worker, args=(0, "gosh-fast")),
+                   threading.Thread(target=worker, args=(1, "gosh-normal"))]
+        for t in threads:
+            t.start()
+        # Both lineages must reach embed() concurrently — neither waits on
+        # the other's latch.
+        wait_for(lambda: in_flight.acquire(blocking=False), 20)
+        wait_for(lambda: in_flight.acquire(blocking=False), 20)
+        release.set()
+        for t in threads:
+            t.join(30)
+        assert errors == [None, None]
+        assert service.embeds_deduped == 0

@@ -1,0 +1,128 @@
+"""The deterministic fault-injection registry (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FAULT_POINTS,
+    FAULTS,
+    FaultRegistry,
+    InjectedFault,
+    UnknownFaultPointError,
+    parse_fault_spec,
+)
+from repro.gpu.device import DeviceMemoryError
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Tests share the FAULTS singleton; never leak an armed point."""
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+class TestRegistryBasics:
+    def test_unarmed_crossings_are_free(self):
+        reg = FaultRegistry()
+        for _ in range(5):
+            reg.crossing("level-boundary", level=0)
+        assert reg.crossings("level-boundary") == 5
+
+    def test_unknown_point_rejected_everywhere(self):
+        reg = FaultRegistry()
+        with pytest.raises(UnknownFaultPointError):
+            reg.arm("no-such-point")
+        with pytest.raises(UnknownFaultPointError):
+            reg.crossing("no-such-point")
+        with pytest.raises(UnknownFaultPointError):
+            reg.crossings("no-such-point")
+
+    def test_armed_point_fires_at_nth_crossing(self):
+        reg = FaultRegistry()
+        reg.arm("rotation-boundary", at=3)
+        reg.crossing("rotation-boundary")
+        reg.crossing("rotation-boundary")
+        with pytest.raises(InjectedFault) as err:
+            reg.crossing("rotation-boundary", rotation=3)
+        assert err.value.point == "rotation-boundary"
+        assert err.value.context == {"rotation": 3}
+
+    def test_one_shot_disarms_before_raising(self):
+        reg = FaultRegistry()
+        reg.arm("store-commit")
+        with pytest.raises(InjectedFault):
+            reg.crossing("store-commit")
+        assert not reg.is_armed("store-commit")
+        reg.crossing("store-commit")  # subsequent crossings are free again
+
+    def test_counts_start_at_arm_time_not_process_start(self):
+        reg = FaultRegistry()
+        for _ in range(10):
+            reg.crossing("pool-producer")
+        reg.arm("pool-producer", at=2)
+        reg.crossing("pool-producer")
+        with pytest.raises(InjectedFault):
+            reg.crossing("pool-producer")
+
+    def test_device_oom_raises_real_device_error(self):
+        """The degradation path must see the production exception type."""
+        reg = FaultRegistry()
+        reg.arm("device-oom")
+        with pytest.raises(DeviceMemoryError):
+            reg.crossing("device-oom", nbytes=1024)
+
+    def test_store_commit_leaves_partial_state(self):
+        reg = FaultRegistry()
+        reg.arm("store-commit")
+        with pytest.raises(InjectedFault) as err:
+            reg.crossing("store-commit")
+        assert err.value.leaves_partial_state
+        reg.arm("level-boundary")
+        with pytest.raises(InjectedFault) as err:
+            reg.crossing("level-boundary")
+        assert not err.value.leaves_partial_state
+
+    def test_armed_context_manager_disarms_on_exit(self):
+        reg = FaultRegistry()
+        with pytest.raises(InjectedFault):
+            with reg.armed("level-boundary:1"):
+                reg.crossing("level-boundary")
+        assert not reg.is_armed("level-boundary")
+        with reg.armed("level-boundary:5"):
+            assert reg.is_armed("level-boundary")
+        assert not reg.is_armed("level-boundary")
+
+    def test_snapshot_reports_armed_and_counts(self):
+        reg = FaultRegistry()
+        reg.arm("rotation-boundary", at=4)
+        reg.crossing("rotation-boundary")
+        snap = reg.snapshot()
+        assert snap["crossings"]["rotation-boundary"] == 1
+        assert snap["armed"]["rotation-boundary"] == 3  # crossings remaining
+
+
+class TestSpecParsing:
+    def test_plain_point_defaults_to_first_crossing(self):
+        assert parse_fault_spec("level-boundary") == ("level-boundary", 1)
+
+    def test_point_with_count(self):
+        assert parse_fault_spec("rotation-boundary:7") == ("rotation-boundary", 7)
+
+    @pytest.mark.parametrize("bad", ["", "rotation-boundary:0",
+                                     "rotation-boundary:x", "nope:1"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises((ValueError, UnknownFaultPointError)):
+            parse_fault_spec(bad)
+
+    def test_every_registered_point_parses(self):
+        for point in FAULT_POINTS:
+            assert parse_fault_spec(f"{point}:2") == (point, 2)
+
+
+def test_module_singleton_is_shared():
+    """The CLI arms FAULTS; library code crosses the same instance."""
+    FAULTS.arm("level-boundary", at=1)
+    with pytest.raises(InjectedFault):
+        FAULTS.crossing("level-boundary")

@@ -1,0 +1,200 @@
+"""Crash recovery for the on-disk store: staging debris is inert and swept.
+
+A writer SIGKILLed mid-save leaves a ``.tmp-*`` staging directory (or, for
+pre-staging writers, a manifest-less version dir).  These tests pin the two
+halves of the contract: readers never see the debris, and ``sweep_staging``
+/ ``gc`` reclaim it once it is older than the grace period.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingResult
+from repro.faults import FAULTS, InjectedFault
+from repro.store import EmbeddingStore
+
+
+def make_result(matrix: np.ndarray, *, tool: str = "gosh-fast",
+                graph: str = "tiny", **metadata) -> EmbeddingResult:
+    return EmbeddingResult(
+        embedding=matrix,
+        tool=tool,
+        graph=graph,
+        seconds=1.25,
+        timings={"training": 1.0},
+        stats={"levels": 3},
+        metadata={"dim": int(matrix.shape[1]), "seed": 0, **metadata},
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+@pytest.fixture
+def matrix(rng) -> np.ndarray:
+    return rng.standard_normal((37, 8)).astype(np.float32)
+
+
+def age(path, seconds: float = 7200.0) -> None:
+    """Backdate ``path`` so it is older than any grace period under test."""
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def lineage_dir(store: EmbeddingStore, fingerprint: str):
+    (lineage,) = [d for d in store.root.iterdir()
+                  if d.name.startswith(f"{fingerprint}-")]
+    return lineage
+
+
+class TestDebrisIsInert:
+    """Readers must never surface a half-written save."""
+
+    def fingerprint(self):
+        return "f" * 32
+
+    def seeded_store(self, tmp_path, matrix) -> tuple[EmbeddingStore, str]:
+        store = EmbeddingStore(tmp_path)
+        fp = self.fingerprint()
+        store.save(make_result(matrix), fingerprint=fp)
+        return store, fp
+
+    def test_orphaned_staging_dir_is_ignored_by_readers(self, tmp_path, matrix):
+        store, fp = self.seeded_store(tmp_path, matrix)
+        lineage = lineage_dir(store, fp)
+        orphan = lineage / ".tmp-99999-deadbeef"
+        orphan.mkdir()
+        (orphan / "embedding-00000.npy").write_bytes(b"garbage")
+        assert len(store.list(fp)) == 1
+        entry = store.latest(fp, "gosh-fast")
+        assert entry is not None and entry.version == 1
+        assert np.array_equal(store.load(fp, "gosh-fast").embedding, matrix)
+
+    def test_manifestless_version_dir_is_ignored_by_readers(self, tmp_path,
+                                                            matrix):
+        store, fp = self.seeded_store(tmp_path, matrix)
+        lineage = lineage_dir(store, fp)
+        half = lineage / "v0002"
+        half.mkdir()
+        np.save(half / "embedding-00000.npy", matrix)
+        # No manifest.json: the writer died between shard writes and commit.
+        assert store.latest(fp, "gosh-fast").version == 1
+        assert len(store.list(fp)) == 1
+
+    def test_next_save_skips_past_debris_version(self, tmp_path, matrix):
+        """A half-written v2 must not be silently overwritten or reused."""
+        store, fp = self.seeded_store(tmp_path, matrix)
+        half = lineage_dir(store, fp) / "v0002"
+        half.mkdir()
+        entry = store.save(make_result(matrix), fingerprint=fp)
+        assert entry.version == 3
+        assert store.latest(fp, "gosh-fast").version == 3
+
+    def test_stats_count_debris_without_serving_it(self, tmp_path, matrix):
+        store, fp = self.seeded_store(tmp_path, matrix)
+        lineage = lineage_dir(store, fp)
+        fresh = lineage / ".tmp-1-ab"
+        fresh.mkdir()
+        stale = lineage / ".tmp-2-cd"
+        stale.mkdir()
+        age(stale)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["staging_dirs"] == 2
+        assert stats["stale_staging_dirs"] == 1
+
+
+class TestSweep:
+    def test_sweep_respects_grace_period(self, tmp_path, matrix):
+        store = EmbeddingStore(tmp_path)
+        fp = "a" * 32
+        store.save(make_result(matrix), fingerprint=fp)
+        lineage = lineage_dir(store, fp)
+        fresh = lineage / ".tmp-1-ab"
+        fresh.mkdir()
+        stale = lineage / ".tmp-2-cd"
+        stale.mkdir()
+        age(stale)
+        swept = store.sweep_staging()
+        assert [p.name for p in swept] == [".tmp-2-cd"]
+        assert fresh.is_dir() and not stale.exists()
+        assert store.staging_swept == 1
+
+    def test_sweep_with_zero_grace_takes_everything(self, tmp_path, matrix):
+        store = EmbeddingStore(tmp_path, staging_grace_s=0)
+        fp = "a" * 32
+        store.save(make_result(matrix), fingerprint=fp)
+        lineage = lineage_dir(store, fp)
+        (lineage / ".tmp-1-ab").mkdir()
+        half = lineage / "v0007"
+        half.mkdir()
+        assert len(store.sweep_staging()) == 2
+        assert not (lineage / ".tmp-1-ab").exists() and not half.exists()
+        # The committed version survives.
+        assert store.latest(fp, "gosh-fast").version == 1
+
+    def test_gc_sweeps_debris_alongside_old_versions(self, tmp_path, matrix):
+        store = EmbeddingStore(tmp_path, staging_grace_s=0)
+        fp = "a" * 32
+        for _ in range(3):
+            store.save(make_result(matrix), fingerprint=fp)
+        lineage = lineage_dir(store, fp)
+        (lineage / ".tmp-1-ab").mkdir()
+        removed = store.gc(keep_n=1, fingerprint=fp)
+        assert len(removed) == 2
+        assert not (lineage / ".tmp-1-ab").exists()
+        assert store.latest(fp, "gosh-fast").version == 3
+
+    def test_sweep_removes_lineage_emptied_of_debris(self, tmp_path):
+        """A lineage that only ever held a crashed save disappears entirely."""
+        store = EmbeddingStore(tmp_path, staging_grace_s=0)
+        lineage = store.root / ("b" * 32 + "-cafecafe-gosh-fast")
+        lineage.mkdir(parents=True)
+        (lineage / ".tmp-3-ef").mkdir()
+        assert len(store.sweep_staging()) == 1
+        assert not lineage.exists()
+
+
+class TestInjectedCommitCrash:
+    """End-to-end: the ``store-commit`` fault point leaks exactly the debris
+    a SIGKILLed writer would, and the sweep reclaims it."""
+
+    def crash_one_save(self, store, matrix, fp):
+        FAULTS.arm("store-commit", at=1)
+        with pytest.raises(InjectedFault):
+            store.save(make_result(matrix), fingerprint=fp)
+
+    def test_injected_crash_leaks_staging_then_sweeps(self, tmp_path, matrix):
+        store = EmbeddingStore(tmp_path, staging_grace_s=0)
+        fp = "c" * 32
+        self.crash_one_save(store, matrix, fp)
+        lineage = lineage_dir(store, fp)
+        debris = [d for d in lineage.iterdir() if d.name.startswith(".tmp-")]
+        assert len(debris) == 1
+        # The shards were written before the commit point died.
+        assert any(debris[0].glob("embedding-*.npy"))
+        assert store.latest(fp, "gosh-fast") is None
+        assert len(store.sweep_staging(fingerprint=fp)) == 1
+        assert not lineage.exists()
+
+    def test_save_after_crash_lands_clean_version(self, tmp_path, matrix):
+        store = EmbeddingStore(tmp_path, staging_grace_s=0)
+        fp = "c" * 32
+        self.crash_one_save(store, matrix, fp)
+        entry = store.save(make_result(matrix), fingerprint=fp)
+        assert entry.version == 1
+        loaded = store.load(fp, "gosh-fast")
+        assert np.array_equal(loaded.embedding, matrix)
+        manifest = json.loads(
+            (lineage_dir(store, fp) / "v0001" / "manifest.json").read_text())
+        assert manifest["tool"] == "gosh-fast"

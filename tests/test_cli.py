@@ -337,3 +337,80 @@ class TestToolRegistryCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "AUCROC" in out and "gosh-fast" in out
+
+
+class TestCrashSafetyCli:
+    """``embed --checkpoint-every / --inject-fault / --resume`` round trip."""
+
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        from repro.faults import FAULTS
+
+        FAULTS.reset()
+        yield
+        FAULTS.reset()
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from repro.graph import powerlaw_cluster
+
+        path = tmp_path / "graph.txt"
+        write_edge_list(powerlaw_cluster(400, m=3, seed=1), path)
+        return path
+
+    def embed_args(self, tmp_path, graph_file, out_name, *extra):
+        return ["embed", str(graph_file), "--config", "normal", "--dim", "16",
+                "--epoch-scale", "0.2", "--seed", "0",
+                "--device-memory-mb", "0.02",
+                "--store-dir", str(tmp_path / "store"),
+                "-o", str(tmp_path / out_name), *extra]
+
+    def test_kill_resume_round_trip_is_bit_exact(self, tmp_path, graph_file,
+                                                 capsys):
+        from repro.cli import EXIT_INJECTED_FAULT
+
+        assert main(self.embed_args(tmp_path, graph_file, "golden.npy")) == 0
+        code = main(self.embed_args(
+            tmp_path, graph_file, "crashed.npy",
+            "--checkpoint-every", "1", "--inject-fault", "rotation-boundary:2"))
+        assert code == EXIT_INJECTED_FAULT
+        out = capsys.readouterr().out
+        assert "injected fault" in out and "--resume" in out
+        assert not (tmp_path / "crashed.npy").exists()
+
+        code = main(self.embed_args(tmp_path, graph_file, "resumed.npy",
+                                    "--resume"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+        assert np.array_equal(np.load(tmp_path / "golden.npy"),
+                              np.load(tmp_path / "resumed.npy"))
+
+    def test_successful_checkpointed_run_sweeps_its_lineage(self, tmp_path,
+                                                            graph_file, capsys):
+        code = main(self.embed_args(tmp_path, graph_file, "out.npy",
+                                    "--checkpoint-every", "1"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoints saved:" in out
+        assert "swept" in out and "spent checkpoint" in out
+        # The store holds no leftover .ckpt lineage afterwards.
+        from repro.store import EmbeddingStore
+
+        assert EmbeddingStore(tmp_path / "store").stats()["entries"] == 0
+
+    def test_bad_inject_fault_spec_is_a_usage_error(self, tmp_path, graph_file):
+        for spec in ("no-such-point", "rotation-boundary:x",
+                     "rotation-boundary:0"):
+            with pytest.raises(SystemExit):
+                main(self.embed_args(tmp_path, graph_file, "x.npy",
+                                     "--inject-fault", spec))
+
+    def test_injected_fault_without_checkpointing_gives_no_resume_hint(
+            self, tmp_path, graph_file, capsys):
+        from repro.cli import EXIT_INJECTED_FAULT
+
+        code = main(self.embed_args(tmp_path, graph_file, "x.npy",
+                                    "--inject-fault", "rotation-boundary:1"))
+        assert code == EXIT_INJECTED_FAULT
+        assert "--resume" not in capsys.readouterr().out
