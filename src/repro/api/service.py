@@ -113,6 +113,9 @@ class QueryRequest:
     exclude_self: bool = True
     config_hash: str | None = None    # pin a specific store lineage
     vertex_range: "tuple[int, int] | None" = None
+    # Optional tracing context ({"id", "parent"[, "span"]}): carried for
+    # observability only, never consulted by the query path itself.
+    trace: "dict[str, str] | None" = None
 
     def __post_init__(self) -> None:
         if (self.vertices is None) == (self.vectors is None):

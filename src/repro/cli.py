@@ -1,6 +1,6 @@
 """Command-line interface for the GOSH reproduction.
 
-Ten subcommands cover the day-to-day workflow of the original tool plus
+Eleven subcommands cover the day-to-day workflow of the original tool plus
 the serving side:
 
 * ``repro-gosh embed``    — embed an edge-list file (or a named synthetic
@@ -18,11 +18,15 @@ the serving side:
 * ``repro-gosh serve``    — run the resident NDJSON query server over a
   graph (admission control, request timestamping, microbatched serving;
   the :mod:`repro.serve` surface); ``--http-port`` adds the stdlib
-  HTTP/1.1 front (``POST /query`` / ``GET /stats`` / ``GET /ping``).
+  HTTP/1.1 front (``POST /query`` / ``GET /stats`` / ``GET /metrics`` /
+  ``GET /ping``).
 * ``repro-gosh route``    — run a shard router over N spawned in-process
   shard servers (``--shards``) or externally started ones
   (``--backend-address``), merging per-shard top-k bit-exactly
   (the :mod:`repro.serve.router` surface).
+* ``repro-gosh stats``    — poll a running server's stats verb and print the
+  snapshot as pretty JSON or (``--metrics``) Prometheus text (the
+  :mod:`repro.obs` surface).
 * ``repro-gosh load``     — drive one or more running servers with N
   concurrent closed- or open-loop clients and report merged p50/p95/p99
   latency, queries/s, and rejection rate with a per-address breakdown
@@ -149,6 +153,9 @@ def cmd_embed(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph, seed=args.seed)
     tool = _resolve_tool(args)
+    if args.trace is not None:
+        from .obs import trace
+        trace.enable()
     if args.inject_fault is not None:
         try:
             point, at = parse_fault_spec(args.inject_fault)
@@ -182,6 +189,12 @@ def cmd_embed(args: argparse.Namespace) -> int:
             return EXIT_INJECTED_FAULT
         finally:
             FAULTS.disarm()
+            if args.trace is not None:
+                from .obs import trace
+                events = trace.export(args.trace)
+                trace.disable()
+                print(f"trace: {events} event(s) written to {args.trace} "
+                      "(open in Perfetto / chrome://tracing)")
     np.save(args.output, result.embedding)
     if args.save:
         store = EmbeddingStore(args.store_dir)
@@ -378,6 +391,20 @@ def _print_serving_stats(service: EmbeddingService) -> None:
               f"{engine_cache['evictions']} evictions")
 
 
+def _export_trace(trace_dir: "str | None", name: str) -> None:
+    """Write the collected trace (if tracing) to ``trace_dir/<name>.trace.json``."""
+    if trace_dir is None:
+        return
+    from .obs import trace
+
+    path = Path(trace_dir) / f"{name}.trace.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    events = trace.export(str(path))
+    trace.disable()
+    print(f"trace: {events} event(s) written to {path} "
+          "(open in Perfetto / chrome://tracing)")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import QueryServer, ServerThread
 
@@ -410,13 +437,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
     handle = ServerThread(server, http_port=args.http_port,
                           http_host=args.host)
+    if args.trace_dir is not None:
+        from .obs import trace
+        trace.enable()
     address = handle.start()
     print(f"serving graph {args.graph!r} with tool {name!r} on {address} "
           f"(max_inflight={args.max_inflight}, queue_depth={args.queue_depth}, "
           f"max_batch={args.max_batch}); Ctrl-C/SIGTERM drains and exits")
     if handle.http_address is not None:
         print(f"HTTP front on http://{handle.http_address} "
-              f"(POST /query, GET /stats, GET /ping)")
+              f"(POST /query, GET /stats, GET /metrics, GET /ping)")
     with _graceful_stop() as (stop, received):
         try:
             stop.wait(args.max_seconds)
@@ -426,11 +456,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"\nsignal {received[0]}: draining in-flight requests ...")
     else:
         print("\ndraining in-flight requests ...")
+    rc = 0
     try:
         handle.stop()
     except TimeoutError as exc:
         print(f"forced shutdown: {exc}")
-        return 1
+        rc = 1
+    _export_trace(args.trace_dir, "serve")
+    if rc:
+        return rc
     print(f"served {server.queries_answered} queries in {server.microbatches} "
           f"microbatch(es); {server.rejected_overload} overload rejection(s), "
           f"{server.query_errors} error(s)")
@@ -486,6 +520,9 @@ def cmd_route(args: argparse.Namespace) -> int:
     except (ValueError, UnknownToolError, StoreError, ConnectionError,
             OSError) as exc:
         raise SystemExit(str(exc)) from exc
+    if args.trace_dir is not None:
+        from .obs import trace
+        trace.enable()
     address = router.start()
     ranges = ", ".join(f"[{lo},{hi})" for lo, hi
                        in router.backend._ranges[args.graph])
@@ -493,7 +530,7 @@ def cmd_route(args: argparse.Namespace) -> int:
           f"(vertex ranges: {ranges}); Ctrl-C/SIGTERM drains and exits")
     if router.http_address is not None:
         print(f"HTTP front on http://{router.http_address} "
-              f"(POST /query, GET /stats, GET /ping)")
+              f"(POST /query, GET /stats, GET /metrics, GET /ping)")
     with _graceful_stop() as (stop, received):
         try:
             stop.wait(args.max_seconds)
@@ -503,11 +540,15 @@ def cmd_route(args: argparse.Namespace) -> int:
         print(f"\nsignal {received[0]}: draining in-flight requests ...")
     else:
         print("\ndraining in-flight requests ...")
+    rc = 0
     try:
         router.stop()
     except TimeoutError as exc:
         print(f"forced shutdown: {exc}")
-        return 1
+        rc = 1
+    _export_trace(args.trace_dir, "route")
+    if rc:
+        return rc
     server = router.server
     backend = router.backend
     print(f"routed {server.queries_answered} queries in {server.microbatches} "
@@ -545,6 +586,43 @@ def cmd_load(args: argparse.Namespace) -> int:
         print(f"report written to {args.json}")
     # A run that never got an answer is a failed measurement, not a report.
     return 0 if report.answered > 0 else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .obs.export import render_stats_metrics
+    from .serve import ServeClient
+
+    if args.count < 1:
+        raise SystemExit("--count must be >= 1")
+    if args.interval < 0:
+        raise SystemExit("--interval must be >= 0")
+    for i in range(args.count):
+        if i:
+            time.sleep(args.interval)
+        try:
+            with ServeClient(args.address, timeout_s=args.timeout) as client:
+                if args.metrics:
+                    try:
+                        text = client.metrics()
+                    except ValueError:
+                        # A server predating the metrics verb: render its
+                        # stats snapshot locally with the same adapter.
+                        text = render_stats_metrics(client.stats())
+                else:
+                    text = json.dumps(client.stats(), indent=2,
+                                      sort_keys=True) + "\n"
+        except (ConnectionError, OSError) as exc:
+            raise SystemExit(f"cannot reach {args.address}: {exc}") from exc
+        # Print outside the except scope: a closed stdout pipe (`| head`)
+        # is not a server failure — it just ends the poll loop.
+        try:
+            print(text, end="", flush=True)
+        except BrokenPipeError:
+            return 0
+    return 0
 
 
 def cmd_tools(args: argparse.Namespace) -> int:
@@ -638,6 +716,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resume from the newest compatible checkpoint in "
                               "the store (same graph + configuration); "
                               "bit-identical to an uninterrupted run")
+    p_embed.add_argument("--trace", default=None, metavar="OUT.json",
+                         help="record a Chrome-trace-event profile of the run "
+                              "(coarsen/level/rotation/kernel/pool/checkpoint "
+                              "spans) and write it here — open in Perfetto")
     p_embed.add_argument("--inject-fault", default=None, metavar="POINT[:N]",
                          help="deterministic fault injection for recovery "
                               "drills: crash at the N-th crossing of a named "
@@ -749,8 +831,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: until Ctrl-C)")
     p_serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
                          help="also serve HTTP/1.1 on this port (0 picks a "
-                              "free one): POST /query, GET /stats, GET /ping")
+                              "free one): POST /query, GET /stats, GET /metrics, GET /ping")
     add_store_option(p_serve)
+    p_serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="enable request tracing and write a Chrome "
+                              "trace-event profile to DIR/serve.trace.json "
+                              "at shutdown")
     p_serve.set_defaults(func=cmd_serve)
 
     p_route = sub.add_parser(
@@ -810,6 +896,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also serve HTTP/1.1 on this port (0 picks a "
                               "free one)")
     add_store_option(p_route)
+    p_route.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="enable request tracing and write a Chrome "
+                              "trace-event profile to DIR/route.trace.json "
+                              "at shutdown")
     p_route.set_defaults(func=cmd_route)
 
     p_load = sub.add_parser(
@@ -842,6 +932,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--json", default=None, metavar="PATH",
                         help="also write the full report as JSON")
     p_load.set_defaults(func=cmd_load)
+
+    p_stats = sub.add_parser(
+        "stats", help="poll a running query server's stats (pretty JSON) or "
+                      "Prometheus text (--metrics)")
+    p_stats.add_argument("address",
+                         help="server address: host:port or unix:<path>")
+    p_stats.add_argument("--metrics", action="store_true",
+                         help="print Prometheus text (the metrics verb; falls "
+                              "back to rendering the stats snapshot locally "
+                              "against servers predating the verb)")
+    p_stats.add_argument("--count", type=int, default=1, metavar="N",
+                         help="number of polls (default: 1)")
+    p_stats.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="sleep between polls (default: 2.0)")
+    p_stats.add_argument("--timeout", type=float, default=10.0,
+                         help="per-request wait bound in seconds")
+    p_stats.set_defaults(func=cmd_stats)
 
     p_tools = sub.add_parser("tools", help="list the registered embedding tools")
     p_tools.add_argument("--dim", type=int, default=32)

@@ -32,6 +32,7 @@ from ..faults import FAULTS
 from ..gpu.device import SimulatedDevice, embedding_fits_on_device
 from ..large.scheduler import LargeGraphConfig, LargeGraphStats, LargeGraphTrainer
 from ..graph.csr import CSRGraph
+from ..obs import trace
 from .checkpoint import CheckpointMismatchError, CheckpointPolicy, ResumeState, TrainingInterrupted
 from .config import GoshConfig, NORMAL
 from .epochs import distribute_epochs
@@ -94,7 +95,12 @@ class GoshEmbedder:
             result = coarsener(graph, threshold=cfg.coarsening_threshold,
                                max_levels=cfg.max_coarsening_levels)
             hierarchy = CoarseningHierarchy.from_result(result)
-        return hierarchy, perf_counter() - t0
+        seconds = perf_counter() - t0
+        if trace.enabled:
+            trace.add_complete("coarsen", seconds,
+                               vertices=graph.num_vertices,
+                               levels=hierarchy.num_levels)
+        return hierarchy, seconds
 
     # ------------------------------------------------------------------ #
     def embed(self, graph: CSRGraph, *, epochs: int | None = None,
@@ -120,6 +126,8 @@ class GoshEmbedder:
         if hierarchy is not None:
             coarsening_seconds = 0.0
         else:
+            # coarsen() records its own trace span, covering this path and
+            # the tool wrapper's cache-aware pre-coarsening alike.
             hierarchy, coarsening_seconds = self.coarsen(graph)
 
         budget = epochs if epochs is not None else cfg.epochs
@@ -191,33 +199,38 @@ class GoshEmbedder:
             level_graph = hierarchy.level(level)
             level_epochs = epochs_per_level[level]
             if level_epochs > 0:
-                if embedding_fits_on_device(level_graph.num_vertices, cfg.dim,
-                                            level_graph.nbytes(), self.device):
-                    if start_rotation > 0:
-                        raise CheckpointMismatchError(
-                            f"checkpoint cursor (level={level}, rotation="
-                            f"{start_rotation}) points inside a partitioned "
-                            "level, but the level now fits in device memory "
-                            "— was the device or dim changed?")
-                    stats = trainer.train(level_graph, embedding, level_epochs,
-                                          level=level, base_lr=cfg.learning_rate)
-                    result.level_stats.append(stats)
-                else:
-                    on_rotation = None
-                    if checkpoint is not None:
-                        on_rotation = self._make_rotation_hook(
-                            checkpoint, result, level, embedding)
-                    lstats = large_trainer.train(level_graph, embedding, level_epochs,
-                                                 base_lr=cfg.learning_rate, level=level,
-                                                 start_rotation=start_rotation,
-                                                 on_rotation=on_rotation)
-                    result.large_graph_stats.append(lstats)
+                with trace.span("level", level=level,
+                                vertices=level_graph.num_vertices,
+                                epochs=level_epochs):
+                    if embedding_fits_on_device(level_graph.num_vertices, cfg.dim,
+                                                level_graph.nbytes(), self.device):
+                        if start_rotation > 0:
+                            raise CheckpointMismatchError(
+                                f"checkpoint cursor (level={level}, rotation="
+                                f"{start_rotation}) points inside a partitioned "
+                                "level, but the level now fits in device memory "
+                                "— was the device or dim changed?")
+                        stats = trainer.train(level_graph, embedding, level_epochs,
+                                              level=level, base_lr=cfg.learning_rate)
+                        result.level_stats.append(stats)
+                    else:
+                        on_rotation = None
+                        if checkpoint is not None:
+                            on_rotation = self._make_rotation_hook(
+                                checkpoint, result, level, embedding)
+                        lstats = large_trainer.train(level_graph, embedding, level_epochs,
+                                                     base_lr=cfg.learning_rate, level=level,
+                                                     start_rotation=start_rotation,
+                                                     on_rotation=on_rotation)
+                        result.large_graph_stats.append(lstats)
             if level > 0:
                 # Line 11: project M_i onto M_{i-1} through map_{i-1}.
                 embedding = hierarchy.expand(level, embedding)
                 if checkpoint is not None and (checkpoint.at_level_boundaries
                                                or checkpoint.stop_requested()):
-                    entry = checkpoint.save(embedding, level=level - 1, rotation=0)
+                    with trace.span("checkpoint", level=level - 1, rotation=0):
+                        entry = checkpoint.save(embedding, level=level - 1,
+                                                rotation=0)
                     result.checkpoints_saved += 1
                     if checkpoint.stop_requested():
                         raise TrainingInterrupted(entry, level=level - 1, rotation=0)
@@ -238,11 +251,13 @@ class GoshEmbedder:
         """
         def on_rotation(completed: int) -> None:
             if checkpoint.stop_requested():
-                entry = checkpoint.save(matrix, level=level, rotation=completed)
+                with trace.span("checkpoint", level=level, rotation=completed):
+                    entry = checkpoint.save(matrix, level=level, rotation=completed)
                 result.checkpoints_saved += 1
                 raise TrainingInterrupted(entry, level=level, rotation=completed)
             if checkpoint.due_at_rotation(completed):
-                checkpoint.save(matrix, level=level, rotation=completed)
+                with trace.span("checkpoint", level=level, rotation=completed):
+                    checkpoint.save(matrix, level=level, rotation=completed)
                 result.checkpoints_saved += 1
         return on_rotation
 

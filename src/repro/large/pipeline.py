@@ -46,6 +46,7 @@ import numpy as np
 
 from ..faults import FAULTS
 from ..graph.partition import VertexPartition
+from ..obs import trace
 from .sample_pool import SamplePool, SamplePoolManager
 
 __all__ = [
@@ -270,6 +271,10 @@ class SequentialExecutor:
         now = perf_counter()
         elapsed = now - t0
         self.stats.produce_seconds += elapsed
+        if trace.enabled:
+            trace.add_complete("pool-produce", elapsed,
+                               rotation=entry.rotation, pair=list(entry.pair),
+                               mode=self.mode)
         ready.produced_at = now - self._t0
         self.stats.record(PoolEvent(
             rotation=entry.rotation, pair=entry.pair,
@@ -328,6 +333,12 @@ class PipelinedExecutor:
                 ready = self.preparer.ready(entry, pool)
                 now = perf_counter()
                 self.stats.produce_seconds += now - t0
+                if trace.enabled:
+                    # Runs on the producer thread — the exported trace shows
+                    # production genuinely overlapping the consumer's kernels.
+                    trace.add_complete("pool-produce", now - t0,
+                                       rotation=entry.rotation,
+                                       pair=list(entry.pair), mode=self.mode)
                 ready.produced_at = now - self._t0
                 if not self._put(ready):
                     return

@@ -25,6 +25,7 @@ Two properties make the manager safe to drive from a real producer thread
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -159,7 +160,14 @@ class SamplePoolManager:
 
     def build_pool(self, part_a: int, part_b: int, *, rotation: int = 0) -> SamplePool:
         """Build the pool for one part pair (both sampling directions)."""
+        from ..obs import trace  # lazy: keep the sampling hot path import-free
+
+        t0 = time.perf_counter()
         pool = self._build(part_a, part_b, rotation)
+        if trace.enabled:
+            trace.add_complete("pool-build", time.perf_counter() - t0,
+                               rotation=rotation, pair=[part_a, part_b],
+                               samples=pool.num_samples)
         with self._lock:
             self.pools_produced += 1
             self.samples_produced += pool.num_samples

@@ -1,0 +1,48 @@
+"""First-class observability: metrics registry, tracing, exposition.
+
+``repro.obs`` is the layer every subsystem reports through:
+
+* :mod:`repro.obs.metrics` — thread-safe ``Counter``/``Gauge``/``Histogram``
+  families with label sets behind a :class:`~repro.obs.metrics.MetricsRegistry`
+  (process-default :data:`~repro.obs.metrics.REGISTRY` + injectable
+  instances), rendered stdlib-only in Prometheus text format.
+* :mod:`repro.obs.trace` — low-overhead spans with cross-process trace-id
+  propagation over the serve wire protocol, exported as Chrome trace-event
+  JSON for Perfetto (``embed --trace``, ``serve/route --trace-dir``).
+* :mod:`repro.obs.export` — snapshot adapters turning the existing
+  ``stats()`` dicts into ``repro_``-prefixed series, behind ``GET /metrics``,
+  the ``metrics`` NDJSON verb, and ``repro-gosh stats --metrics``.
+
+See the README's "Observability" section for the metric taxonomy and the
+tracing workflow.
+"""
+
+from . import trace
+from .export import (
+    METRICS_CONTENT_TYPE,
+    registry_from_stats,
+    render_stats_metrics,
+    samples_from_stats,
+)
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    counter_sample,
+    gauge_sample,
+    get_registry,
+    histogram_sample,
+    render_samples,
+)
+
+__all__ = [
+    "trace",
+    "REGISTRY", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "Sample", "counter_sample", "gauge_sample", "histogram_sample",
+    "render_samples", "get_registry",
+    "METRICS_CONTENT_TYPE", "samples_from_stats", "registry_from_stats",
+    "render_stats_metrics",
+]

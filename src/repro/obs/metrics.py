@@ -1,0 +1,492 @@
+"""Unified metrics core: thread-safe instruments behind a registry.
+
+Every subsystem of this reproduction historically invented its own
+observability — nine ad-hoc ``stats()`` dicts, two bespoke metric classes,
+and counters scattered across server/router/service/store/pool/engine
+objects.  This module is the common substrate those surfaces now report
+through:
+
+* **Instruments** — :class:`Counter` (monotonic), :class:`Gauge`
+  (set/inc/dec), and :class:`Histogram` (fixed upper-bound buckets) — are
+  *families*: declaring ``labelnames`` and calling :meth:`labels` yields
+  one child per distinct label set, with **identity semantics** (the same
+  label values always return the very same child object, regardless of
+  keyword order).  Every mutation is lock-protected, so totals are exact
+  under concurrent writers.
+* **A registry** (:class:`MetricsRegistry`) owns families by name —
+  re-requesting a name returns the existing family, requesting it as a
+  different type raises — plus *collectors*: zero-argument callables
+  invoked at scrape time that yield read-only :class:`Sample` rows.
+  Collectors are how the pre-existing counters (``QueryServer`` admission,
+  shard health dwell, service/store/engine caches, fault crossings) are
+  re-pointed at the registry **without changing a single ``stats()`` dict
+  shape**: the live snapshot each subsystem already produces is adapted
+  into samples on demand (see :mod:`repro.obs.export`).
+* **Prometheus text exposition** — :meth:`MetricsRegistry.render` emits
+  the classic ``# HELP``/``# TYPE`` text format, stdlib-only.  All series
+  in this codebase use the ``repro_`` prefix; see the README's
+  "Observability" taxonomy table.
+
+The process-default registry is :data:`REGISTRY`; everything also works
+against an injected instance (and an injected ``clock``) for deterministic
+tests.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from time import monotonic
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "get_registry", "Sample", "counter_sample", "gauge_sample",
+    "histogram_sample", "render_samples",
+]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram upper bounds (seconds-flavoured, Prometheus classic).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelPairs = "tuple[tuple[str, str], ...]"
+
+
+def _check_metric_name(name: str) -> str:
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_label_names(labelnames: Sequence[str]) -> tuple[str, ...]:
+    names = tuple(labelnames)
+    for n in names:
+        if not _LABEL_NAME_RE.match(n):
+            raise ValueError(f"invalid label name {n!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names!r}")
+    return names
+
+
+def _normalize_labels(labels: "Mapping[str, Any] | Iterable[tuple[str, Any]]",
+                      ) -> LabelPairs:
+    pairs = labels.items() if isinstance(labels, Mapping) else labels
+    return tuple((str(k), str(v)) for k, v in pairs)
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_labels(pairs: LabelPairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    f = float(value)
+    if f != f:
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+class Sample:
+    """One read-only exposition row (or histogram row-group).
+
+    Instruments produce these at collect time, and snapshot collectors
+    produce them directly from existing ``stats()`` dicts.  ``kind`` is
+    ``"counter"``/``"gauge"`` with a scalar ``value``, or ``"histogram"``
+    with ``buckets`` (finite upper edge → **cumulative** count), ``sum``
+    and ``count``.
+    """
+
+    __slots__ = ("name", "kind", "help", "labels", "value", "buckets",
+                 "sum_value", "count")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 labels: LabelPairs = (), *, value: float = 0.0,
+                 buckets: "Sequence[tuple[float, int]] | None" = None,
+                 sum_value: float = 0.0, count: int = 0):
+        self.name = _check_metric_name(name)
+        self.kind = kind
+        self.help = help_text
+        self.labels = labels
+        self.value = value
+        self.buckets = list(buckets) if buckets is not None else None
+        self.sum_value = sum_value
+        self.count = count
+
+
+def counter_sample(name: str, help_text: str, value: float,
+                   labels: "Mapping[str, Any] | Iterable[tuple[str, Any]]" = (),
+                   ) -> Sample:
+    return Sample(name, "counter", help_text, _normalize_labels(labels),
+                  value=float(value))
+
+
+def gauge_sample(name: str, help_text: str, value: float,
+                 labels: "Mapping[str, Any] | Iterable[tuple[str, Any]]" = (),
+                 ) -> Sample:
+    return Sample(name, "gauge", help_text, _normalize_labels(labels),
+                  value=float(value))
+
+
+def histogram_sample(name: str, help_text: str, *,
+                     buckets: "Sequence[tuple[float, int]]",
+                     sum_value: float, count: int,
+                     labels: "Mapping[str, Any] | Iterable[tuple[str, Any]]" = (),
+                     ) -> Sample:
+    """``buckets`` maps finite upper edges to **cumulative** counts; the
+    ``+Inf`` bucket is implied by ``count`` and added at render time."""
+    return Sample(name, "histogram", help_text, _normalize_labels(labels),
+                  buckets=buckets, sum_value=float(sum_value), count=int(count))
+
+
+# --------------------------------------------------------------------------- #
+# Instrument children
+# --------------------------------------------------------------------------- #
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_edges", "_counts", "_sum", "_count")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._edges = edges
+        self._counts = [0] * (len(edges) + 1)    # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        i = bisect_left(self._edges, v)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += v
+            self._count += 1
+
+    def snapshot(self) -> "tuple[list[tuple[float, int]], float, int]":
+        with self._lock:
+            cum, acc = [], 0
+            for edge, c in zip(self._edges, self._counts):
+                acc += c
+                cum.append((edge, acc))
+            return cum, self._sum, self._count
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+# --------------------------------------------------------------------------- #
+# Instrument families
+# --------------------------------------------------------------------------- #
+class _Family:
+    """Shared family machinery: named children with identity semantics."""
+
+    kind = ""
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()):
+        self.name = _check_metric_name(name)
+        self.help = help_text
+        self.labelnames = _check_label_names(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: Any):
+        """The child for this label set (created once, then always the
+        same object — label identity semantics)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labelvalues)}")
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} declares labels {list(self.labelnames)}; "
+                f"call .labels(...) first")
+        return self.labels()
+
+    def _child_rows(self) -> "list[tuple[tuple[str, ...], Any]]":
+        with self._lock:
+            return sorted(self._children.items())
+
+    def samples(self) -> list[Sample]:
+        out = []
+        for key, child in self._child_rows():
+            pairs = tuple(zip(self.labelnames, key))
+            out.append(self._sample_of(child, pairs))
+        return out
+
+    def _sample_of(self, child, pairs):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """Monotonically increasing family; ``inc()`` on labelless counters."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def _sample_of(self, child: _CounterChild, pairs: LabelPairs) -> Sample:
+        return Sample(self.name, self.kind, self.help, pairs,
+                      value=child.value)
+
+
+class Gauge(_Family):
+    """Free-moving family: ``set``/``inc``/``dec``."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def _sample_of(self, child: _GaugeChild, pairs: LabelPairs) -> Sample:
+        return Sample(self.name, self.kind, self.help, pairs,
+                      value=child.value)
+
+
+class Histogram(_Family):
+    """Fixed-bucket histogram family (upper-bound edges, +Inf implied)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = (), *,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        edges = tuple(float(b) for b in buckets)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError("buckets must be a non-empty strictly "
+                             "increasing sequence")
+        self.buckets = edges
+        super().__init__(name, help_text, labelnames)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def _sample_of(self, child: _HistogramChild, pairs: LabelPairs) -> Sample:
+        cum, total, count = child.snapshot()
+        return Sample(self.name, self.kind, self.help, pairs,
+                      buckets=cum, sum_value=total, count=count)
+
+
+_FAMILY_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+# --------------------------------------------------------------------------- #
+# Registry + exposition
+# --------------------------------------------------------------------------- #
+class MetricsRegistry:
+    """Owns instrument families and scrape-time collectors.
+
+    ``clock`` is injectable purely for deterministic tests of
+    time-derived series (it is handed to adapters that need "now", e.g.
+    dwell-time collectors); production uses :func:`time.monotonic`.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] = monotonic):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], Iterable[Sample]]] = []
+
+    # -- families ------------------------------------------------------- #
+    def _family(self, cls, name: str, help_text: str,
+                labelnames: Sequence[str], **kwargs):
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            family = cls(name, help_text, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._family(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._family(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (), *,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._family(Histogram, name, help_text, labelnames,
+                            buckets=buckets)
+
+    # -- collectors ----------------------------------------------------- #
+    def register_collector(self, fn: Callable[[], Iterable[Sample]]) -> None:
+        """``fn()`` is called at every scrape and yields :class:`Sample`
+        rows — the snapshot-adapter hook that re-points existing
+        ``stats()`` counters at this registry without reshaping them."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    def unregister_collector(self, fn: Callable[[], Iterable[Sample]]) -> None:
+        with self._lock:
+            try:
+                self._collectors.remove(fn)
+            except ValueError:
+                pass
+
+    # -- exposition ----------------------------------------------------- #
+    def collect(self) -> list[Sample]:
+        with self._lock:
+            families = list(self._families.values())
+            collectors = list(self._collectors)
+        samples: list[Sample] = []
+        for family in families:
+            samples.extend(family.samples())
+        for fn in collectors:
+            samples.extend(fn())
+        return samples
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        return render_samples(self.collect())
+
+
+def render_samples(samples: Iterable[Sample]) -> str:
+    """Prometheus text format: ``# HELP``/``# TYPE`` once per series name
+    (first-seen order), then one line per (labels) child — histograms
+    expand into ``_bucket``/``_sum``/``_count`` rows."""
+    groups: dict[str, list[Sample]] = {}
+    order: list[str] = []
+    for s in samples:
+        if s.name not in groups:
+            groups[s.name] = []
+            order.append(s.name)
+        groups[s.name].append(s)
+    lines: list[str] = []
+    for name in order:
+        rows = groups[name]
+        kind = rows[0].kind
+        help_text = rows[0].help.replace("\\", "\\\\").replace("\n", "\\n")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for s in rows:
+            if s.kind == "histogram":
+                assert s.buckets is not None
+                for edge, cum in s.buckets:
+                    pairs = s.labels + (("le", _format_value(edge)),)
+                    lines.append(f"{name}_bucket{_format_labels(pairs)} {cum}")
+                pairs = s.labels + (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_format_labels(pairs)} {s.count}")
+                lines.append(f"{name}_sum{_format_labels(s.labels)} "
+                             f"{_format_value(s.sum_value)}")
+                lines.append(f"{name}_count{_format_labels(s.labels)} {s.count}")
+            else:
+                lines.append(f"{name}{_format_labels(s.labels)} "
+                             f"{_format_value(s.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-default registry.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

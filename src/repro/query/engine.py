@@ -22,6 +22,7 @@ from time import perf_counter
 
 import numpy as np
 
+from ..obs import trace
 from .backends import (
     METRICS,
     PreparedMatrix,
@@ -131,6 +132,10 @@ class QueryEngine:
         self.batches_served += 1
         self.rows_scored += (hi - lo) * q.shape[0]
         self.query_seconds += seconds
+        if trace.enabled:
+            trace.add_complete("engine.query", seconds,
+                               queries=int(q.shape[0]), k=int(k),
+                               rows=int(hi - lo), backend=resolved.name)
         return QueryResult(ids=ids, scores=scores, metric=self.metric,
                            backend=resolved.name, seconds=seconds)
 

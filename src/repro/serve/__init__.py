@@ -8,15 +8,20 @@ request (queue-wait vs. service-time breakdown in every reply), and drains
 the admission queue through :meth:`EmbeddingService.query_batch` so
 concurrent clients stack into shared microbatches.  ``stats`` frames read
 the admission counters, bounded latency histograms, and the service
-snapshot in one verb; :meth:`QueryServer.stop` drains in-flight work before
-exiting.
+snapshot in one verb — assembled off the event loop under a deadline, so a
+stats poll answers (possibly from a stale snapshot) even while a
+minutes-long embed holds the serving lock; ``metrics`` frames render the
+same snapshot as Prometheus text (see :mod:`repro.obs`), which
+:class:`HttpFront` also serves on ``GET /metrics``.  :meth:`QueryServer.stop`
+drains in-flight work before exiting.
 
 :class:`ServerThread` runs the server on a daemon event-loop thread for
 synchronous callers; :class:`ServeClient` is the matching blocking client.
 
 Scale-out lives here too: :class:`HttpFront` (:mod:`repro.serve.http`) is a
 stdlib-only HTTP/1.1 adapter mapping ``POST /query`` / ``GET /stats`` /
-``GET /ping`` onto the same frame schema and admission gate, and
+``GET /metrics`` / ``GET /ping`` onto the same frame schema and admission
+gate, and
 :class:`ShardRouter` (:mod:`repro.serve.router`) partitions each graph's
 vertex ranges across replica sets of shard servers and merges their top-k
 bit-exactly (it *is* a ``QueryServer`` whose service fans out).  Each

@@ -12,6 +12,7 @@ import socket
 from time import monotonic
 from typing import Any
 
+from ..obs import trace
 from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
 
 __all__ = ["ServeClient", "parse_address"]
@@ -105,7 +106,8 @@ class ServeClient:
               metric: "str | None" = None, backend: "str | None" = None,
               exclude_self: "bool | None" = None,
               vertex_range: "tuple[int, int] | None" = None,
-              request_id: Any = None) -> dict[str, Any]:
+              request_id: Any = None,
+              trace_id: "str | None" = None) -> dict[str, Any]:
         frame: dict[str, Any] = {"verb": "query", "k": k, "created": monotonic()}
         if vertex_range is not None:
             frame["range"] = [int(vertex_range[0]), int(vertex_range[1])]
@@ -115,11 +117,35 @@ class ServeClient:
                            ("backend", backend), ("exclude_self", exclude_self)):
             if value is not None:
                 frame[key] = value
+        if trace_id is None and trace.enabled:
+            # Mint the request-scoped trace id here — the client is where a
+            # user query is born, so this is the one id every downstream
+            # hop (router, shards) shares.
+            trace_id = trace.new_trace_id()
+        if trace_id is not None:
+            span_id = trace.new_span_id() if trace.enabled else None
+            frame["trace"] = ({"id": trace_id, "span": span_id}
+                              if span_id else {"id": trace_id})
+            with trace.span("client.query", trace=trace_id,
+                            span=span_id or "", address=self.address):
+                return self.request(frame)
         return self.request(frame)
 
     def stats(self) -> dict[str, Any]:
         reply = self.request({"verb": "stats"})
         return reply["stats"]
+
+    def metrics(self) -> str:
+        """The server's stats snapshot as Prometheus text (``metrics`` verb).
+
+        Raises :class:`ValueError` on servers predating the verb — callers
+        (the ``stats --metrics`` CLI) can fall back to rendering the
+        ``stats`` snapshot locally.
+        """
+        reply = self.request({"verb": "metrics"})
+        if not reply.get("ok"):
+            raise ValueError(reply.get("error", "metrics verb failed"))
+        return reply["text"]
 
     def ping(self) -> bool:
         return bool(self.request({"verb": "ping"}).get("ok"))

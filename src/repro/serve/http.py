@@ -10,6 +10,9 @@ existing frame schema:
   ``vectors``, ``k``, optional ``tool``/``graph``/``metric``/``backend``/
   ``exclude_self``/``range``); the reply body is the reply frame.
 * ``GET /stats`` — the ``stats`` verb's snapshot.
+* ``GET /metrics`` — the same snapshot rendered in Prometheus text
+  exposition format (``repro_``-prefixed series; see the README's
+  "Observability" taxonomy) — point a Prometheus scrape job here.
 * ``GET /ping`` — liveness.
 
 Nothing is re-implemented: every request funnels through
@@ -195,6 +198,18 @@ class HttpFront:
             if method != "GET":
                 return await self._method_not_allowed(writer, "GET", keep_alive)
             reply = await self.server.submit_frame({"verb": "stats"})
+        elif path == "/metrics":
+            if method != "GET":
+                return await self._method_not_allowed(writer, "GET", keep_alive)
+            reply = await self.server.submit_frame({"verb": "metrics"})
+            if reply.get("ok"):
+                # Prometheus scrapers want the text exposition format, not
+                # a JSON envelope around it.
+                await self._respond(
+                    writer, 200, None, keep_alive=keep_alive,
+                    raw_body=reply["text"].encode("utf-8"),
+                    content_type=reply.get("content_type", "text/plain"))
+                return keep_alive
         elif path == "/query":
             if method != "POST":
                 return await self._method_not_allowed(writer, "POST", keep_alive)
@@ -219,7 +234,7 @@ class HttpFront:
                 writer, 404,
                 {"ok": False, "code": "unknown-verb",
                  "error": f"no route {path!r}; routes: "
-                          f"POST /query, GET /stats, GET /ping"},
+                          f"POST /query, GET /stats, GET /metrics, GET /ping"},
                 keep_alive=keep_alive)
             return keep_alive
 
@@ -238,18 +253,23 @@ class HttpFront:
         return keep_alive
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict[str, Any], *, keep_alive: bool,
+                       payload: "dict[str, Any] | None", *, keep_alive: bool,
                        extra_headers: "list[tuple[str, str]] | None" = None,
+                       raw_body: "bytes | None" = None,
+                       content_type: str = "application/json",
                        ) -> None:
         self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
-        body = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+        if raw_body is not None:
+            body = raw_body
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 413: "Payload Too Large",
                   431: "Request Header Fields Too Large",
                   500: "Internal Server Error",
                   503: "Service Unavailable"}.get(status, "Error")
         headers = [
-            ("Content-Type", "application/json"),
+            ("Content-Type", content_type),
             ("Content-Length", str(len(body))),
             ("Connection", "keep-alive" if keep_alive else "close"),
         ]

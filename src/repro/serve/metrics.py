@@ -25,6 +25,9 @@ import numpy as np
 
 __all__ = ["LatencyHistogram", "StateClock"]
 
+#: Dict round-trip format tag (bumped if the bucket layout ever changes).
+_HIST_FORMAT = "latency-histogram/1"
+
 
 class StateClock:
     """Track which state a component is in, for how long, and how often.
@@ -70,6 +73,28 @@ class StateClock:
                         for name in self.seconds},
         }
 
+    @staticmethod
+    def summary_samples(summary: "dict[str, object]", name: str,
+                        help_text: str, labels: "dict[str, object]",
+                        ) -> "list[object]":
+        """Adapt a :meth:`summary` dict into registry samples.
+
+        This is how dwell clocks become registry citizens without growing a
+        registry dependency themselves: the exposition layer feeds any
+        already-snapshotted summary (local or from a remote stats reply)
+        through here and gets one cumulative seconds-counter per state.
+        """
+        from ..obs.metrics import counter_sample
+
+        seconds = summary.get("seconds")
+        if not isinstance(seconds, dict):
+            return []
+        return [
+            counter_sample(name, help_text, float(secs),
+                           {**labels, "state": str(state)})
+            for state, secs in sorted(seconds.items())
+        ]
+
 
 class LatencyHistogram:
     """Log-bucketed histogram of non-negative durations (seconds)."""
@@ -81,6 +106,7 @@ class LatencyHistogram:
         if growth <= 1.0:
             raise ValueError("growth must be > 1")
         num = int(math.ceil(math.log(max_s / min_s) / math.log(growth)))
+        self.min_s, self.max_s, self.growth = min_s, max_s, growth
         # Upper edges of the finite buckets; one extra overflow bucket on top.
         self.edges = min_s * growth ** np.arange(1, num + 1)
         self.counts = np.zeros(num + 1, dtype=np.int64)
@@ -114,6 +140,80 @@ class LatencyHistogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Aggregation + wire round-trip (fleet-wide percentiles)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s observations into this histogram (in place).
+
+        Bucket layouts must match — merging is element-wise addition of
+        counts, which is exactly why the router can aggregate per-shard
+        histograms into fleet-wide p50/p95/p99 without shipping samples.
+        """
+        if (len(other.edges) != len(self.edges)
+                or not np.allclose(other.edges, self.edges)):
+            raise ValueError(
+                "cannot merge histograms with different bucket layouts "
+                f"({other.min_s}/{other.max_s}/{other.growth} vs "
+                f"{self.min_s}/{self.max_s}/{self.growth})")
+        self.counts += other.counts
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-safe snapshot that :meth:`from_dict` rebuilds exactly.
+
+        Zero buckets are run-length-elided by storing ``(index, count)``
+        pairs — the common sparse case (a few active buckets out of ~84)
+        stays small on the stats wire.
+        """
+        return {
+            "format": _HIST_FORMAT,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "growth": self.growth,
+            "counts": [[int(i), int(c)] for i, c in enumerate(self.counts) if c],
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, object]") -> "LatencyHistogram":
+        if payload.get("format") != _HIST_FORMAT:
+            raise ValueError(f"unknown histogram payload {payload.get('format')!r}")
+        hist = cls(min_s=float(payload["min_s"]), max_s=float(payload["max_s"]),
+                   growth=float(payload["growth"]))
+        for i, c in payload.get("counts", []):     # type: ignore[union-attr]
+            hist.counts[int(i)] = int(c)
+        hist.count = int(payload.get("count", 0))
+        hist.total = float(payload.get("total", 0.0))
+        raw_min = payload.get("min")
+        hist.min = math.inf if raw_min is None else float(raw_min)
+        hist.max = float(payload.get("max", 0.0))
+        return hist
+
+    def metric_sample(self, name: str, help_text: str = "",
+                      labels: "dict[str, object] | None" = None):
+        """This histogram as a registry :class:`~repro.obs.metrics.Sample`.
+
+        The registry-citizen hook: the bucket layout is preserved (finite
+        upper edges, cumulative counts), so a Prometheus scrape sees the
+        very same resolution the ``stats`` verb summarises.
+        """
+        from ..obs.metrics import histogram_sample
+
+        cum = np.cumsum(self.counts[:-1])
+        return histogram_sample(
+            name, help_text,
+            buckets=[(float(e), int(c)) for e, c in zip(self.edges, cum)],
+            sum_value=self.total, count=self.count,
+            labels=labels or {})
 
     def summary(self) -> dict[str, float | int]:
         """The serving-dashboard view, in milliseconds."""

@@ -8,11 +8,20 @@ request frame names a verb plus its arguments::
     {"id": 8, "verb": "query", "vectors": [[0.1, 0.2, ...]], "k": 3}
     {"id": 9, "verb": "query", "vertices": [3], "k": 5, "range": [0, 150]}
     {"verb": "stats"}
+    {"verb": "metrics"}
     {"verb": "ping"}
 
 A query's optional ``"range": [lo, hi)`` restricts the candidate rows — the
 primitive the shard router uses to make each backend answer only for the
 vertex range it owns (score bits are unchanged vs. an unranged run).
+
+A query may also carry an optional ``"trace": {"id": ..., "span": ...}``
+context (see :func:`parse_trace_context`): ``id`` is the request-scoped
+trace id minted once at the client, ``span`` the *sender's* span id, which
+becomes the receiver's parent.  The router forwards the context to its
+shards, so one user query yields a single cross-process trace.  The
+``metrics`` verb returns the stats snapshot rendered as Prometheus text
+(``{"ok": true, "verb": "metrics", "text": ..., "content_type": ...}``).
 
 and every reply echoes the request's ``id`` (when one was given) with
 ``"ok": true`` plus the answer, or ``"ok": false`` with a machine-readable
@@ -41,7 +50,7 @@ from ..api import QueryRequest
 
 __all__ = ["FrameError", "MAX_FRAME_BYTES", "ERROR_CODES",
            "encode_frame", "decode_frame", "parse_query_request",
-           "error_reply"]
+           "parse_trace_context", "error_reply"]
 
 #: Upper bound on one encoded frame (requests *and* replies).  A resident
 #: server must not let one client allocate unbounded buffers; vector-query
@@ -52,7 +61,7 @@ MAX_FRAME_BYTES = 1 << 20
 ERROR_CODES = (
     "bad-frame",       # not valid JSON / not an object / oversized
     "bad-request",     # well-formed JSON but invalid query arguments
-    "unknown-verb",    # verb not one of query/stats/ping
+    "unknown-verb",    # verb not one of query/stats/metrics/ping
     "overloaded",      # admission control rejected (queue/inflight full)
     "shutting-down",   # server is draining; no new work admitted
     "error",           # the service raised while answering this request
@@ -149,6 +158,7 @@ def parse_query_request(frame: Mapping[str, Any], *,
     exclude_self = frame.get("exclude_self", True)
     if not isinstance(exclude_self, bool):
         raise FrameError("bad-request", "'exclude_self' must be a boolean")
+    trace_ctx = parse_trace_context(frame)
     vertex_range = frame.get("range")
     if vertex_range is not None:
         ok = (isinstance(vertex_range, (list, tuple)) and len(vertex_range) == 2
@@ -165,6 +175,28 @@ def parse_query_request(frame: Mapping[str, Any], *,
                             vertices=vertices, vectors=vectors, k=k,
                             metric=metric, backend=backend,
                             exclude_self=exclude_self,
-                            vertex_range=vertex_range)
+                            vertex_range=vertex_range,
+                            trace=trace_ctx)
     except ValueError as exc:   # e.g. neither/both of vertices and vectors
         raise FrameError("bad-request", str(exc)) from exc
+
+
+def parse_trace_context(frame: Mapping[str, Any]) -> "dict[str, str] | None":
+    """The optional ``"trace"`` field as a ``{"id", "parent"}`` context.
+
+    The sender stamps ``{"id": <trace id>, "span": <its own span id>}``;
+    on receipt the sender's span becomes this hop's ``parent``.  Soft
+    validation by design: tracing must never fail a query, so anything
+    that is not a well-formed context is treated as absent.
+    """
+    raw = frame.get("trace")
+    if not isinstance(raw, Mapping):
+        return None
+    trace_id = raw.get("id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    ctx = {"id": trace_id}
+    parent = raw.get("span")
+    if isinstance(parent, str) and parent:
+        ctx["parent"] = parent
+    return ctx

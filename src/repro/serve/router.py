@@ -64,7 +64,7 @@ import numpy as np
 
 from ..query.backends import topk_by_score
 from .client import ServeClient, parse_address
-from .metrics import StateClock
+from .metrics import LatencyHistogram, StateClock
 from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
 from .server import QueryServer, ServerThread
 
@@ -621,8 +621,16 @@ class ShardedBackendService:
         return responses
 
     def stats(self) -> dict[str, Any]:
-        """Router counters, per-replica health, and shard snapshots."""
+        """Router counters, per-replica health, and shard snapshots.
+
+        Per-shard latency histograms (when the shard reports them) are
+        merged bucket-wise into fleet-wide percentiles under
+        ``fleet_latency`` — the aggregate a dashboard actually wants,
+        impossible to recover from per-shard p99s alone.
+        """
         shards: list[dict[str, Any]] = []
+        fleet: dict[str, LatencyHistogram] = {}
+        shards_reporting = 0
         for group in self.groups:
             for link in group.links:
                 if link.health.state != HEALTH_HEALTHY:
@@ -643,7 +651,11 @@ class ShardedBackendService:
                     shards.append({"address": link.address,
                                    "state": link.health.state,
                                    "error": str(exc)})
-        return {
+                    continue
+                histograms = (shard_stats.get("latency") or {}).get("histograms")
+                if isinstance(histograms, dict):
+                    shards_reporting += self._merge_fleet(fleet, histograms)
+        result = {
             "router": {
                 "shards": len(self.groups),
                 "replicas_per_shard": [len(g.links) for g in self.groups],
@@ -665,6 +677,36 @@ class ShardedBackendService:
             "health": [group.stats_rows() for group in self.groups],
             "shards": shards,
         }
+        if fleet:
+            result["fleet_latency"] = {
+                stage: hist.summary() for stage, hist in sorted(fleet.items())}
+            result["fleet_latency"]["shards_reporting"] = shards_reporting
+        return result
+
+    @staticmethod
+    def _merge_fleet(fleet: "dict[str, LatencyHistogram]",
+                     histograms: "dict[str, Any]") -> int:
+        """Fold one shard's stage histograms into the fleet aggregate.
+
+        Returns 1 when anything merged.  Unparseable payloads (version
+        skew, stub shards) are skipped — fleet latency is best-effort and
+        must never fail the stats verb.
+        """
+        merged_any = 0
+        for stage, payload in histograms.items():
+            try:
+                hist = LatencyHistogram.from_dict(payload)
+            except (ValueError, KeyError, TypeError, IndexError):
+                continue
+            if stage in fleet:
+                try:
+                    fleet[stage].merge(hist)
+                except ValueError:      # different bucket layout
+                    continue
+            else:
+                fleet[stage] = hist
+            merged_any = 1
+        return merged_any
 
     def close(self) -> None:
         self._prober_stop.set()
@@ -712,6 +754,15 @@ class ShardedBackendService:
                 frame["metric"] = request.metric
             if request.backend is not None:
                 frame["backend"] = request.backend
+            tctx = getattr(request, "trace", None)
+            if tctx is not None:
+                # Forward the trace id; the parent this hop hands down is
+                # its own span when one was minted (tracing enabled here),
+                # else the upstream sender's — shard spans always attach to
+                # the nearest recorded ancestor.
+                sender = tctx.get("span") or tctx.get("parent")
+                frame["trace"] = ({"id": tctx["id"], "span": sender}
+                                  if sender else {"id": tctx["id"]})
             frames[s] = frame
         plan = {"index": j, "frames": frames,
                 "size": hi_all - lo_all, "exclude": exclude}

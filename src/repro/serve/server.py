@@ -47,6 +47,9 @@ from dataclasses import dataclass, field
 from time import monotonic
 from typing import TYPE_CHECKING, Any, Mapping
 
+from ..faults import FAULTS
+from ..obs import trace
+from ..obs.export import METRICS_CONTENT_TYPE, render_stats_metrics
 from .metrics import LatencyHistogram
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -76,6 +79,21 @@ class _Pending:
     admitted: float = 0.0            # server monotonic at batch admission
 
 
+@dataclass
+class _Deferred:
+    """An accepted non-query verb answered off the loop thread.
+
+    The ``stats``/``metrics`` verbs look synchronous but must not be:
+    :meth:`EmbeddingService.stats` takes the serving lock, which an
+    executor-side ``query_batch`` (or an embed-on-miss) can hold for
+    minutes — answering on the loop thread would freeze *every*
+    connection exactly when observability matters most.  Like
+    :class:`_Pending`, the reply arrives via ``future``.
+    """
+
+    future: "asyncio.Future[dict[str, Any]]"
+
+
 @dataclass(eq=False)       # identity semantics: connections live in a set
 class _Connection:
     """Per-connection state: serialized writes + liveness for reply drops."""
@@ -103,7 +121,8 @@ class QueryServer:
                  default_tool: "str | None" = None,
                  max_inflight: int = 64, queue_depth: int = 128,
                  max_batch: int = 32,
-                 max_inflight_per_tool: "int | None" = None):
+                 max_inflight_per_tool: "int | None" = None,
+                 stats_timeout_s: float = 2.0):
         if not graphs:
             raise ValueError("serve at least one graph")
         if max_inflight < 1 or queue_depth < 1 or max_batch < 1:
@@ -122,6 +141,13 @@ class QueryServer:
             max_inflight, queue_depth, max_batch)
         self.max_inflight_per_tool = max_inflight_per_tool
         self._inflight_by_tool: dict[str, int] = {}
+        if stats_timeout_s <= 0:
+            raise ValueError("stats_timeout_s must be > 0")
+        self.stats_timeout_s = stats_timeout_s
+        # Last good EmbeddingService.stats() snapshot, served (marked
+        # "stale": true) when a fresh one cannot be taken in time.
+        self._service_stats_cache: "dict[str, Any] | None" = None
+        self._service_stats_task: "asyncio.Task | None" = None
 
         # Admission + lifecycle state (all touched only on the event loop).
         self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
@@ -149,6 +175,7 @@ class QueryServer:
         self.replies_dropped = 0
         self.microbatches = 0
         self.max_batch_seen = 0
+        self.stats_stale_served = 0
         self.queue_wait = LatencyHistogram()
         self.service_time = LatencyHistogram()
         self.total_time = LatencyHistogram()
@@ -277,33 +304,42 @@ class QueryServer:
             self._send(conn, error_reply(exc.code, str(exc)))
             return
         outcome = self.dispatch_frame(frame)
-        if isinstance(outcome, _Pending):
+        if isinstance(outcome, (_Pending, _Deferred)):
             asyncio.get_running_loop().create_task(self._forward_reply(outcome, conn))
         else:
             self._send(conn, outcome)
 
-    def dispatch_frame(self, frame: Mapping[str, Any]) -> "dict[str, Any] | _Pending":
+    def dispatch_frame(self, frame: Mapping[str, Any],
+                       ) -> "dict[str, Any] | _Pending | _Deferred":
         """Serve one decoded frame, transport-independently.
 
-        Returns either an immediate reply dict (ping, stats, errors,
-        admission rejections) or an admitted :class:`_Pending` whose future
-        resolves to the reply once its batch is answered.  Both the NDJSON
-        connection handler and the HTTP front go through here, so every
-        transport shares the same verbs, error codes, and admission gate.
-        Must run on the event loop.
+        Returns an immediate reply dict (ping, errors, admission
+        rejections), an admitted :class:`_Pending` whose future resolves to
+        the reply once its batch is answered, or a :class:`_Deferred` for
+        the observability verbs (answered off-loop; see
+        :meth:`_answer_observability`).  Both the NDJSON connection handler
+        and the HTTP front go through here, so every transport shares the
+        same verbs, error codes, and admission gate.  Must run on the
+        event loop.
         """
         request_id = frame.get("id")
         verb = frame.get("verb", "query")
         if verb == "ping":
             return {"ok": True, "verb": "ping", "id": request_id}
-        if verb == "stats":
-            # Observability must work *especially* under overload, so stats
-            # bypasses admission and the batch queue entirely.
-            return {"ok": True, "verb": "stats", "id": request_id,
-                    "stats": self.stats()}
+        if verb in ("stats", "metrics"):
+            # Observability must work *especially* under overload, so these
+            # bypass admission and the batch queue entirely — and never
+            # touch the serving lock on the loop thread (the service
+            # snapshot runs in an executor with a stale-cache fallback).
+            deferred = _Deferred(
+                future=asyncio.get_running_loop().create_future())
+            asyncio.get_running_loop().create_task(
+                self._answer_observability(verb, request_id, deferred.future))
+            return deferred
         if verb != "query":
             return error_reply(
-                "unknown-verb", f"unknown verb {verb!r}; expected query/stats/ping",
+                "unknown-verb",
+                f"unknown verb {verb!r}; expected query/stats/metrics/ping",
                 request_id=request_id)
         try:
             request = parse_query_request(
@@ -341,6 +377,10 @@ class QueryServer:
                 request_id=request_id,
                 detail={"tool": tool,
                         "max_inflight_per_tool": self.max_inflight_per_tool})
+        if trace.enabled and request.trace is not None:
+            # This hop's own span id: recorded on the request's server span
+            # and forwarded to downstream shards as their parent.
+            request.trace["span"] = trace.new_span_id()
         pending = _Pending(request=request, request_id=request_id,
                            created=frame.get("created"), received=monotonic(),
                            future=asyncio.get_running_loop().create_future(),
@@ -351,12 +391,12 @@ class QueryServer:
     async def submit_frame(self, frame: Mapping[str, Any]) -> dict[str, Any]:
         """Answer one decoded frame end-to-end (the HTTP front's entry).
 
-        Counts the frame, dispatches it, and — when it was admitted —
-        awaits the batched answer.  Returns the reply dict.
+        Counts the frame, dispatches it, and — when it was admitted or
+        deferred — awaits the answer.  Returns the reply dict.
         """
         self.frames_received += 1
         outcome = self.dispatch_frame(frame)
-        if isinstance(outcome, _Pending):
+        if isinstance(outcome, (_Pending, _Deferred)):
             return await outcome.future
         return outcome
 
@@ -381,7 +421,8 @@ class QueryServer:
             assert self._drained is not None
             self._drained.set()
 
-    async def _forward_reply(self, pending: _Pending, conn: _Connection) -> None:
+    async def _forward_reply(self, pending: "_Pending | _Deferred",
+                             conn: _Connection) -> None:
         reply = await pending.future
         self._send(conn, reply)
 
@@ -464,13 +505,100 @@ class QueryServer:
             }
         if p.created is not None:
             reply["created"] = p.created
+        if trace.enabled:
+            # Back-date from the stamps already taken — the server span
+            # costs nothing on the untraced fast path.
+            args: dict[str, Any] = {
+                "address": self.address, "tool": p.tool,
+                "queue_wait_s": timing["queue_wait_s"],
+                "service_s": timing["service_s"],
+                "ok": not isinstance(response, Exception),
+            }
+            tctx = getattr(p.request, "trace", None)
+            if tctx:
+                # Context keys are id/parent/span; exported span args use
+                # "trace" for the id so every hop's events key the same way.
+                args.update({("trace" if k == "id" else k): v
+                             for k, v in tctx.items() if v})
+            trace.add_complete("server.query", total, **args)
         p.future.set_result(reply)
 
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, Any]:
-        """One coherent snapshot: admission, latency, and service counters."""
+        """One coherent snapshot: admission, latency, and service counters.
+
+        Blocking form (takes the service's serving lock); the wire verbs go
+        through :meth:`_answer_observability` instead, which fetches the
+        service part off-loop with a stale-snapshot fallback.
+        """
+        return self._assemble_stats(self.service.stats())
+
+    def metrics_text(self) -> str:
+        """The stats snapshot rendered in Prometheus text format."""
+        return render_stats_metrics(self.stats())
+
+    async def _answer_observability(self, verb: str, request_id: Any,
+                                    future: "asyncio.Future[dict[str, Any]]",
+                                    ) -> None:
+        """Answer a ``stats``/``metrics`` frame without blocking the loop.
+
+        The server-side counters are read synchronously (loop-owned, always
+        fresh); only the service snapshot — the part that takes the serving
+        lock — runs in the executor, bounded by ``stats_timeout_s``.  On
+        timeout the last good snapshot is served with ``"stale": true`` so
+        observability keeps answering while the service is wedged (the
+        satellite bug this replaces: a stats poll during a minutes-long
+        ``query_batch`` froze every connection).
+        """
+        service_stats = await self._service_stats_snapshot()
+        stats = self._assemble_stats(service_stats)
+        if verb == "stats":
+            reply = {"ok": True, "verb": "stats", "id": request_id,
+                     "stats": stats}
+        else:
+            reply = {"ok": True, "verb": "metrics", "id": request_id,
+                     "content_type": METRICS_CONTENT_TYPE,
+                     "text": render_stats_metrics(stats)}
+        if not future.done():
+            future.set_result(reply)
+
+    async def _service_stats_snapshot(self) -> dict[str, Any]:
+        """``service.stats()`` in the executor, single-flight + bounded.
+
+        Concurrent polls share one in-flight snapshot (shield + await); a
+        poll the deadline expires on falls back to the cached snapshot
+        marked ``"stale": true`` — the underlying task keeps running and
+        refreshes the cache for the next poll when the lock frees up.
+        """
+        task = self._service_stats_task
+        if task is None or task.done():
+            task = asyncio.get_running_loop().create_task(
+                self._fetch_service_stats())
+            # Retrieve a late failure so an abandoned (timed-out) fetch
+            # never logs "exception was never retrieved".
+            task.add_done_callback(
+                lambda t: t.exception() if not t.cancelled() else None)
+            self._service_stats_task = task
+        try:
+            return await asyncio.wait_for(asyncio.shield(task),
+                                          self.stats_timeout_s)
+        except asyncio.TimeoutError:
+            self.stats_stale_served += 1
+            stale: dict[str, Any] = dict(self._service_stats_cache or {})
+            stale["stale"] = True
+            return stale
+        except Exception as exc:   # a misbehaving service must not kill stats
+            return {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _fetch_service_stats(self) -> dict[str, Any]:
+        snapshot = await asyncio.get_running_loop().run_in_executor(
+            None, self.service.stats)
+        self._service_stats_cache = snapshot
+        return snapshot
+
+    def _assemble_stats(self, service_stats: Any) -> dict[str, Any]:
         stats: dict[str, Any] = {
             "server": {
                 "address": self.address,
@@ -499,13 +627,23 @@ class QueryServer:
                 "replies_dropped": self.replies_dropped,
                 "microbatches": self.microbatches,
                 "max_batch_seen": self.max_batch_seen,
+                "stats_stale_served": self.stats_stale_served,
             },
             "latency": {
                 "queue_wait": self.queue_wait.summary(),
                 "service": self.service_time.summary(),
                 "total": self.total_time.summary(),
+                # Full bucket payloads: the router merges these across
+                # shards into fleet-wide percentiles, and the Prometheus
+                # renderer re-expands them into _bucket series.
+                "histograms": {
+                    "queue_wait": self.queue_wait.to_dict(),
+                    "service": self.service_time.to_dict(),
+                    "total": self.total_time.to_dict(),
+                },
             },
-            "service": self.service.stats(),
+            "service": service_stats,
+            "faults": FAULTS.snapshot(),
         }
         if self.http_front is not None:
             stats["http"] = self.http_front.stats()

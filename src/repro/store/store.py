@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 import numpy as np
 
 from ..faults import FAULTS, InjectedFault
+from ..obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.result import EmbeddingResult
@@ -199,6 +200,7 @@ class EmbeddingStore:
                 "cannot key the store entry: pass graph= or fingerprint=, or embed "
                 "through EmbeddingService (which stamps metadata['graph_fingerprint'])")
         cfg_hash = config_hash(result.metadata)
+        t_save = time.perf_counter()
         matrix = np.ascontiguousarray(result.embedding)
         if matrix.ndim != 2:
             raise ValueError(f"embedding must be a 2-D matrix, got shape {matrix.shape}")
@@ -257,6 +259,11 @@ class EmbeddingStore:
                 shutil.rmtree(staging, ignore_errors=True)
             raise
         self.saves += 1
+        if trace.enabled:
+            trace.add_complete("store.save", time.perf_counter() - t_save,
+                               tool=result.tool, version=version,
+                               rows=int(matrix.shape[0]),
+                               nbytes=int(matrix.nbytes))
         return StoreEntry(fingerprint=fingerprint, config_hash=cfg_hash,
                           tool=result.tool, version=version, path=final,
                           manifest=manifest)
@@ -299,6 +306,7 @@ class EmbeddingStore:
         """Materialise a listed entry (see :meth:`load` for ``mmap``)."""
         from ..api.result import EmbeddingResult
 
+        t_load = time.perf_counter()
         mode = "r" if mmap else None
         parts = [np.load(entry.path / shard["file"], mmap_mode=mode)
                  for shard in entry.manifest["shards"]]
@@ -313,6 +321,10 @@ class EmbeddingStore:
             "mmap": bool(mmap),
         }
         self.loads += 1
+        if trace.enabled:
+            trace.add_complete("store.load", time.perf_counter() - t_load,
+                               tool=entry.tool, version=entry.version,
+                               mmap=bool(mmap))
         return EmbeddingResult(
             embedding=matrix,
             tool=entry.tool,

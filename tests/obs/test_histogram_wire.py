@@ -1,0 +1,101 @@
+"""LatencyHistogram aggregation: merge, wire round-trip, registry samples.
+
+These primitives carry the fleet-latency satellite: shards serialize their
+histograms with ``to_dict`` onto the stats wire, the router rebuilds them
+with ``from_dict`` and folds them together with ``merge``, and the
+Prometheus renderer re-expands any of them via ``metric_sample``.  The
+round-trip must be *exact* — percentiles computed on a rebuilt histogram
+match the original bucket-for-bucket.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import LatencyHistogram
+
+
+def observed(values, **kwargs) -> LatencyHistogram:
+    hist = LatencyHistogram(**kwargs)
+    for v in values:
+        hist.observe(v)
+    return hist
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_exact(self):
+        hist = observed([0.0001, 0.002, 0.002, 0.5, 75.0])  # incl. overflow
+        rebuilt = LatencyHistogram.from_dict(hist.to_dict())
+        assert np.array_equal(rebuilt.counts, hist.counts)
+        assert rebuilt.count == hist.count
+        assert rebuilt.total == hist.total
+        assert rebuilt.min == hist.min and rebuilt.max == hist.max
+        for q in (50, 95, 99):
+            assert rebuilt.percentile(q) == hist.percentile(q)
+        assert rebuilt.summary() == hist.summary()
+
+    def test_payload_is_json_safe_and_sparse(self):
+        import json
+
+        hist = observed([0.01, 0.01, 2.0])
+        payload = hist.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        # Only the touched buckets ride the wire.
+        assert len(payload["counts"]) == 2
+        assert sum(c for _, c in payload["counts"]) == 3
+
+    def test_empty_histogram_round_trips(self):
+        rebuilt = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert rebuilt.count == 0
+        assert rebuilt.min == math.inf            # "no observation yet"
+        assert rebuilt.percentile(99) == 0.0
+
+    def test_unknown_format_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown histogram payload"):
+            LatencyHistogram.from_dict({"format": "bogus/9"})
+        with pytest.raises(ValueError, match="unknown histogram payload"):
+            LatencyHistogram.from_dict({})
+
+
+class TestMerge:
+    def test_merge_equals_observing_the_union(self):
+        left = observed([0.001, 0.1, 0.1])
+        right = observed([0.002, 5.0])
+        union = observed([0.001, 0.1, 0.1, 0.002, 5.0])
+        assert left.merge(right) is left
+        assert np.array_equal(left.counts, union.counts)
+        assert left.count == union.count
+        assert left.total == pytest.approx(union.total)
+        assert left.min == union.min and left.max == union.max
+        assert left.summary() == union.summary()
+
+    def test_merge_accepts_a_wire_rebuilt_histogram(self):
+        local = observed([0.01])
+        remote = LatencyHistogram.from_dict(observed([0.5, 0.6]).to_dict())
+        assert local.merge(remote).count == 3
+
+    def test_mismatched_layouts_are_rejected(self):
+        with pytest.raises(ValueError, match="bucket layouts"):
+            observed([0.01]).merge(LatencyHistogram(max_s=10.0))
+        with pytest.raises(ValueError, match="bucket layouts"):
+            observed([0.01]).merge(LatencyHistogram(growth=2.0))
+
+
+class TestRegistrySample:
+    def test_metric_sample_preserves_the_bucket_layout(self):
+        hist = observed([0.0001, 0.002, 80.0])    # under-min, mid, overflow
+        sample = hist.metric_sample("repro_server_latency_seconds",
+                                    labels={"stage": "total"})
+        assert sample.kind == "histogram"
+        assert sample.count == 3
+        assert sample.sum_value == pytest.approx(hist.total)
+        edges = [edge for edge, _ in sample.buckets]
+        assert edges == [float(e) for e in hist.edges]
+        # Cumulative counts: the overflow observation appears only in +Inf
+        # (i.e. sample.count), never in a finite bucket.
+        assert sample.buckets[-1][1] == 2
+        cums = [c for _, c in sample.buckets]
+        assert cums == sorted(cums)

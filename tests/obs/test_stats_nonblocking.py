@@ -1,0 +1,149 @@
+"""The stats/metrics verbs must answer while the service is wedged.
+
+The satellite bug under test: ``EmbeddingService.stats()`` takes the
+serving lock, which an executor-side ``query_batch`` can hold for minutes
+(an embed-on-miss).  The old handler called it synchronously *on the event
+loop*, so one stats poll during a long embed froze every connection — even
+ping.  The server now fetches the service part off-loop, bounded by
+``stats_timeout_s``, and serves the last good snapshot marked
+``"stale": true`` when the deadline expires.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serve import QueryServer, ServeClient, ServerThread
+
+pytestmark = pytest.mark.timeout(60)
+
+TIMEOUT = 10.0
+
+
+class LockedStatsStubService:
+    """Mimics the real service's locking: stats() blocks while a batch runs.
+
+    ``query_batch`` grabs ``serving_lock`` and parks on ``release`` —
+    exactly the shape of a minutes-long embed-on-miss.  ``stats()`` needs
+    the same lock, so it stays stuck for as long as the test keeps the
+    gate shut.
+    """
+
+    def __init__(self):
+        self.serving_lock = threading.RLock()
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.stats_calls = 0
+
+    def query_batch(self, requests):
+        with self.serving_lock:
+            self.started.set()
+            assert self.release.wait(timeout=30.0), "test never released the stub"
+            return [self._answer(r) for r in requests]
+
+    @staticmethod
+    def _answer(request):
+        k, n = request.k, request.num_queries
+        return SimpleNamespace(ids=np.zeros((n, k), dtype=np.int64),
+                               scores=np.zeros((n, k), dtype=np.float32),
+                               store_hit=True,
+                               entry=SimpleNamespace(version=1))
+
+    def stats(self):
+        with self.serving_lock:
+            self.stats_calls += 1
+            return {"stats_calls": self.stats_calls}
+
+
+def make_server(stub, **kwargs):
+    kwargs.setdefault("stats_timeout_s", 0.3)
+    return QueryServer(stub, {"g": object()}, default_tool="stub", **kwargs)
+
+
+class TestNonBlockingStats:
+    def test_stats_answers_within_the_deadline_while_the_lock_is_held(self):
+        stub = LockedStatsStubService()
+        server = make_server(stub)
+        with ServerThread(server) as addr:
+            with ServeClient(addr, timeout_s=TIMEOUT) as warm:
+                # Warm poll with the lock free: caches a good snapshot.
+                assert warm.stats()["service"] == {"stats_calls": 1}
+            with ServeClient(addr, timeout_s=TIMEOUT) as busy:
+                busy._sock.sendall(
+                    b'{"id": "q1", "verb": "query", "vertices": [0]}\n')
+                assert stub.started.wait(TIMEOUT)   # lock is now held
+                polled = []
+                with ServeClient(addr, timeout_s=TIMEOUT) as observer:
+                    for _ in range(3):
+                        t0 = time.perf_counter()
+                        stats = observer.stats()
+                        polled.append((time.perf_counter() - t0, stats))
+                stub.release.set()
+                assert busy._file.readline()        # q1 answered after release
+        for elapsed, stats in polled:
+            # Bounded: deadline (0.3 s) + slack, nowhere near the lock hold.
+            assert elapsed < 5.0
+            # Served from the warm cache, flagged stale.
+            assert stats["service"]["stats_calls"] == 1
+            assert stats["service"]["stale"] is True
+            # Loop-owned counters stay fresh even when the service is stuck.
+            assert stats["server"]["inflight"] == 1
+        assert server.stats_stale_served == 3
+        assert polled[-1][1]["server"]["stats_stale_served"] >= 1
+
+    def test_stats_without_a_warm_cache_still_answers(self):
+        stub = LockedStatsStubService()
+        server = make_server(stub)
+        with ServerThread(server) as addr:
+            with ServeClient(addr, timeout_s=TIMEOUT) as busy:
+                busy._sock.sendall(
+                    b'{"id": "q1", "verb": "query", "vertices": [0]}\n')
+                assert stub.started.wait(TIMEOUT)
+                with ServeClient(addr, timeout_s=TIMEOUT) as observer:
+                    stats = observer.stats()
+                stub.release.set()
+                assert busy._file.readline()
+        # Nothing cached yet: the service part is just the stale marker.
+        assert stats["service"] == {"stale": True}
+        assert stats["server"]["queries_admitted"] == 1
+
+    def test_fresh_stats_resume_after_the_lock_frees(self):
+        stub = LockedStatsStubService()
+        server = make_server(stub)
+        with ServerThread(server) as addr, ServeClient(addr, timeout_s=TIMEOUT) as c:
+            first = c.stats()
+            assert first["service"] == {"stats_calls": 1}
+            # The single-flight task is done; a later poll fetches fresh.
+            deadline = time.monotonic() + TIMEOUT
+            while time.monotonic() < deadline:
+                stats = c.stats()
+                if stats["service"].get("stats_calls", 0) >= 2:
+                    break
+                time.sleep(0.05)
+            assert stats["service"]["stats_calls"] >= 2
+            assert "stale" not in stats["service"]
+
+    def test_metrics_verb_shares_the_non_blocking_path(self):
+        stub = LockedStatsStubService()
+        server = make_server(stub)
+        with ServerThread(server) as addr:
+            with ServeClient(addr, timeout_s=TIMEOUT) as busy:
+                busy._sock.sendall(
+                    b'{"id": "q1", "verb": "query", "vertices": [0]}\n')
+                assert stub.started.wait(TIMEOUT)
+                with ServeClient(addr, timeout_s=TIMEOUT) as observer:
+                    text = observer.metrics()
+                stub.release.set()
+                assert busy._file.readline()
+        # Prometheus text with the loop-owned admission series present.
+        assert "# TYPE repro_server_queries_admitted_total counter" in text
+        assert "repro_server_inflight 1" in text
+
+    def test_stats_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="stats_timeout_s"):
+            make_server(LockedStatsStubService(), stats_timeout_s=0)

@@ -1,0 +1,160 @@
+"""The tracer: disabled-path identity, recording styles, Chrome JSON export.
+
+The export format is pinned structurally (a golden *shape*, not golden
+bytes — timestamps vary): the ``{"traceEvents": [...]}`` envelope, complete
+``"ph": "X"`` events with non-negative µs ``ts``/``dur``, thread-name
+``"M"`` metadata rows sorted first, and back-dated ``add_complete`` events
+landing where the measured interval actually happened.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts and ends with the tracer off and drained."""
+    trace.disable()
+    trace.drain()
+    yield
+    trace.disable()
+    trace.drain()
+
+
+class TestDisabledPath:
+    def test_disabled_is_the_default_and_records_nothing(self):
+        assert trace.is_enabled() is False
+        with trace.span("work", level=1):
+            pass
+        trace.add_complete("measured", 0.25)
+        trace.add_instant("marker")
+        assert trace.event_count() == 0
+
+    def test_disabled_span_is_a_shared_singleton(self):
+        # The zero-allocation contract: every disabled call site gets the
+        # very same no-op object back.
+        assert trace.span("a") is trace.span("b", key="value")
+
+    def test_disabling_mid_span_drops_the_event(self):
+        trace.enable()
+        span = trace.span("work")
+        with span:
+            trace.disable()
+        assert all(e.get("ph") == "M" for e in trace.drain())
+
+
+class TestRecording:
+    def test_span_records_a_complete_event_with_args(self):
+        trace.enable()
+        with trace.span("kernel", level=2, rotation=1):
+            pass
+        events = [e for e in trace.drain() if e["ph"] == "X"]
+        assert len(events) == 1
+        (event,) = events
+        assert event["name"] == "kernel"
+        assert event["args"] == {"level": 2, "rotation": 1}
+        assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_span_exit_on_exception_records_the_error(self):
+        trace.enable()
+        with pytest.raises(RuntimeError):
+            with trace.span("work"):
+                raise RuntimeError("boom")
+        (event,) = [e for e in trace.drain() if e["ph"] == "X"]
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_add_complete_backdates_by_the_measured_duration(self):
+        trace.enable()
+        trace.add_complete("measured", 0.5, source="test")
+        (event,) = [e for e in trace.drain() if e["ph"] == "X"]
+        assert event["dur"] == pytest.approx(0.5e6)
+        # Back-dated: started ~0.5 s before "now", i.e. before the enable
+        # epoch in this test, so ts is negative — the point is ts + dur
+        # equals the moment add_complete ran.
+        end_us = event["ts"] + event["dur"]
+        assert 0 <= end_us < 0.25e6
+
+    def test_add_instant_is_zero_duration(self):
+        trace.enable()
+        trace.add_instant("h2d", simulated_s=0.001)
+        (event,) = [e for e in trace.drain() if e["ph"] == "X"]
+        assert event["dur"] == 0.0
+        assert event["args"]["simulated_s"] == 0.001
+
+    def test_thread_metadata_is_emitted_once_per_thread(self):
+        trace.enable()
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+        events = trace.drain()
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(metadata) == 1
+        assert metadata[0]["name"] == "thread_name"
+        (tid,) = {e["tid"] for e in events if e["ph"] == "X"}
+        assert metadata[0]["tid"] == tid
+
+    def test_enable_resets_the_buffer_and_epoch(self):
+        trace.enable()
+        with trace.span("old"):
+            pass
+        trace.enable()
+        assert trace.event_count() == 0
+
+
+class TestIds:
+    def test_trace_ids_are_distinct_16_hex_chars(self):
+        a, b = trace.new_trace_id(), trace.new_trace_id()
+        assert a != b
+        assert len(a) == 16 and int(a, 16) >= 0
+
+    def test_span_ids_are_ordered_within_the_process(self):
+        a, b = trace.new_span_id(), trace.new_span_id()
+        assert a != b
+        assert int(a.split(".")[1]) < int(b.split(".")[1])
+
+
+class TestExport:
+    def test_chrome_trace_file_shape(self, tmp_path):
+        trace.enable()
+        with trace.span("level", level=0):
+            with trace.span("kernel", level=0, rotation=1):
+                pass
+        trace.add_complete("pool-produce", 0.001, rotation=1)
+        out = tmp_path / "run.trace.json"
+        written = trace.export(out)
+        assert written == 3                      # metadata rows not counted
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert [e["ph"] for e in events if e["ph"] == "M"] == ["M"]
+        xs = [e for e in events if e["ph"] != "M"]
+        assert {e["ph"] for e in xs} == {"X"}    # complete events only
+        for e in xs:
+            assert set(e) >= {"name", "ph", "pid", "tid", "ts", "dur", "args"}
+            assert e["dur"] >= 0
+        # Metadata first, then X events in monotonically increasing ts.
+        assert events[0]["ph"] == "M"
+        ts = [e["ts"] for e in xs]
+        assert ts == sorted(ts)
+
+    def test_export_drains_by_default_but_can_peek(self, tmp_path):
+        trace.enable()
+        with trace.span("a"):
+            pass
+        peek = tmp_path / "peek.json"
+        assert trace.export(peek, drain_events=False) == 1
+        assert trace.export(tmp_path / "drain.json") == 1
+        assert trace.export(tmp_path / "empty.json") == 0
+
+    def test_empty_export_is_a_valid_envelope(self, tmp_path):
+        out = tmp_path / "empty.json"
+        assert trace.export(out) == 0
+        assert json.loads(out.read_text()) == {"traceEvents": [],
+                                               "displayTimeUnit": "ms"}

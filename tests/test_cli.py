@@ -291,6 +291,67 @@ class TestServeAndLoadCli:
         assert {"p50", "p95", "p99"} <= set(report["latency_ms"])
 
 
+class TestStatsCli:
+    def test_stats_parser_defaults(self):
+        args = build_parser().parse_args(["stats", "127.0.0.1:7654"])
+        assert args.metrics is False
+        assert args.count == 1 and args.interval == 2.0
+        assert args.timeout == 10.0
+
+    def test_stats_unreachable_server_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["stats", f"unix:{tmp_path}/nope.sock", "--timeout", "0.2"])
+
+    @pytest.mark.timeout(120)
+    def test_stats_against_live_server_with_trace_export(self, tmp_path, capsys):
+        """`repro-gosh stats` polls a live `serve --trace-dir` process: pretty
+        JSON and Prometheus text both work, and shutdown exports the trace."""
+        import json
+        import threading
+        import time
+
+        sock = tmp_path / "serve.sock"
+        trace_dir = tmp_path / "traces"
+        serve_rc: list[int] = []
+
+        def run_server() -> None:
+            serve_rc.append(main([
+                "serve", "com-amazon", "--config", "fast", "--dim", "8",
+                "--epoch-scale", "0.02", "--socket", str(sock),
+                "--store-dir", str(tmp_path / "store"),
+                "--trace-dir", str(trace_dir), "--max-seconds", "6"]))
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 60
+        while not sock.exists():
+            assert time.monotonic() < deadline, "server socket never appeared"
+            time.sleep(0.05)
+
+        time.sleep(0.2)
+        capsys.readouterr()  # drain the server thread's startup chatter
+        assert main(["stats", f"unix:{sock}"]) == 0
+        out = capsys.readouterr().out
+        stats = json.loads(out[out.index("{"):])
+        assert stats["server"]["queue_depth"] == 128
+        assert "service" in stats
+
+        assert main(["stats", f"unix:{sock}", "--metrics"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_server_queries_admitted_total counter" in text
+        assert "repro_server_inflight 0" in text
+
+        thread.join(timeout=60)
+        assert serve_rc == [0]
+        trace_file = trace_dir / "serve.trace.json"
+        assert trace_file.exists()
+        payload = json.loads(trace_file.read_text())
+        # Only query paths record spans, so a stats-only session exports a
+        # valid (possibly empty) envelope — Perfetto opens it either way.
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+
+
 class TestToolRegistryCli:
     def test_tools_lists_registry(self, capsys):
         assert main(["tools"]) == 0
